@@ -1,0 +1,161 @@
+package dmacp
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark regenerates its experiment end to end (workload build,
+// default placement, partitioning, simulation) at a reduced scale, and
+// reports the experiment's headline figure as a custom metric so `go test
+// -bench` output doubles as a compact reproduction summary.
+//
+// The full-scale tables are produced by `go run ./cmd/experiments -run all`.
+
+import (
+	"testing"
+
+	"dmacp/internal/exp"
+	"dmacp/internal/workloads"
+)
+
+// benchScale keeps a full-suite experiment around a second.
+func benchScale() workloads.Scale { return workloads.Scale{Iters: 48, Elems: 1 << 13} }
+
+// benchExperiment runs one experiment per iteration and publishes selected
+// headline metrics.
+func benchExperiment(b *testing.B, run func(*exp.Runner) (*exp.Experiment, error), metrics ...string) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	for _, m := range metrics {
+		if v, ok := last.Headline[m]; ok {
+			b.ReportMetric(v*100, m+"_%")
+		}
+	}
+	if len(last.Table.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+func BenchmarkTable1Analyzability(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Table1, "mean")
+}
+
+func BenchmarkTable2PredictorAccuracy(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Table2, "mean")
+}
+
+func BenchmarkTable3OffloadMix(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Table3)
+}
+
+func BenchmarkFig13DataMovement(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig13, "geomean_avg_reduction")
+}
+
+func BenchmarkFig14Parallelism(b *testing.B) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	b.ReportMetric(last.Headline["mean_parallelism"], "parallelism")
+}
+
+func BenchmarkFig15Syncs(b *testing.B) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	b.ReportMetric(last.Headline["mean_syncs_per_stmt"], "syncs/stmt")
+}
+
+func BenchmarkFig16L1HitRate(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig16, "mean_improvement")
+}
+
+func BenchmarkFig17ExecTime(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig17, "ours", "ideal_network", "ideal_analysis")
+}
+
+func BenchmarkFig18Breakdown(b *testing.B) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := r.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	b.ReportMetric(last.Headline["movement_only_speedup"], "S2_speedup")
+	b.ReportMetric(last.Headline["full_speedup"], "full_speedup")
+}
+
+func BenchmarkFig19NetLatency(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig19, "mean_avg_latency_reduction")
+}
+
+func BenchmarkFig20WindowSize(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig20, "adaptive_geomean")
+}
+
+func BenchmarkFig21WindowL1(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig21)
+}
+
+func BenchmarkFig22Configs(b *testing.B) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := r.Fig22()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	b.ReportMetric(last.Headline["(B,X,2)"], "BX2_speedup")
+	b.ReportMetric(last.Headline["(C,X,2)"], "CX2_speedup")
+}
+
+func BenchmarkFig23DataMapping(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig23, "ours", "data_mapping", "combined")
+}
+
+func BenchmarkFig24Energy(b *testing.B) {
+	benchExperiment(b, (*exp.Runner).Fig24, "ours")
+}
+
+// BenchmarkAblations measures the cost of disabling each design choice
+// (reuse-aware windows, load balancing, adaptive window sizing).
+func BenchmarkAblations(b *testing.B) {
+	b.Helper()
+	var last *exp.Experiment
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(benchScale())
+		e, err := r.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	b.ReportMetric(last.Headline["no_reuse_slowdown"], "no_reuse_x")
+	b.ReportMetric(last.Headline["fixed_window8_slowdown"], "fixed_w8_x")
+}

@@ -1,0 +1,60 @@
+// Windowtuning: the Section 5 "different window sizes" walk-through
+// (Figure 12) at example scale. Two statements share C(i); considering them
+// in one window lets the second statement find C in the L1 where the first
+// statement's subcomputation pulled it, while an ill-fitting window splits
+// the reuse pair apart. The example sweeps fixed window sizes 1..8 and
+// compares them against the adaptive per-nest choice.
+//
+// Run with: go run ./examples/windowtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmacp/pipeline"
+)
+
+func main() {
+	kernel := pipeline.Kernel{
+		Name: "windowtuning",
+		// The Figure 11/12 shape: S1 gathers four operands, S2 reuses C.
+		// Strides keep operands on scattered home banks.
+		Statements: `
+A(8*i) = B(8*i)+C(16*i)+D(8*i+128)+E(24*i)
+X(8*i) = Y(8*i)+C(16*i)`,
+		Iterations: 192,
+		Sweeps:     3,
+		ArrayLen:   1 << 15,
+	}
+
+	fmt.Println("fixed statement windows vs adaptive choice")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %12s %10s\n", "window", "movement", "speedup", "L1 opt")
+	var bestFixed float64
+	for w := 1; w <= 8; w++ {
+		cfg := pipeline.DefaultConfig()
+		cfg.FixedWindow = w
+		rep, err := pipeline.Run(kernel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Speedup() > bestFixed {
+			bestFixed = rep.Speedup()
+		}
+		fmt.Printf("w=%-8d %14d %11.2fx %9.1f%%\n",
+			w, rep.OptimizedMovement, rep.Speedup(), rep.OptimizedL1HitRate*100)
+	}
+
+	adaptive, err := pipeline.Run(kernel, pipeline.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %14d %11.2fx %9.1f%%\n",
+		fmt.Sprintf("adaptive=%d", adaptive.WindowSize),
+		adaptive.OptimizedMovement, adaptive.Speedup(), adaptive.OptimizedL1HitRate*100)
+	fmt.Println()
+	fmt.Println("the adaptive search picks the window with minimum data movement per")
+	fmt.Println("nest, matching or beating the best fixed size (Figure 20's last bar)")
+	fmt.Printf("best fixed speedup %.2fx vs adaptive %.2fx\n", bestFixed, adaptive.Speedup())
+}

@@ -1,0 +1,3 @@
+module dmacp
+
+go 1.22

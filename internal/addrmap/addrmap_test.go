@@ -1,0 +1,190 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLayoutValid(t *testing.T) {
+	if err := DefaultLayout().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadLayouts(t *testing.T) {
+	bad := []Layout{
+		{LineBytes: 0, PageBytes: 4096, L2Banks: 4, Channels: 4, Ranks: 1, MemBanks: 1},
+		{LineBytes: 64, PageBytes: 100, L2Banks: 4, Channels: 4, Ranks: 1, MemBanks: 1},
+		{LineBytes: 64, PageBytes: 4096, L2Banks: 0, Channels: 4, Ranks: 1, MemBanks: 1},
+		{LineBytes: 64, PageBytes: 4096, L2Banks: 4, Channels: 0, Ranks: 1, MemBanks: 1},
+		{LineBytes: 64, PageBytes: 4096, L2Banks: 4, Channels: 4, Ranks: 1, MemBanks: 1, BankSet: []int{7}},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %d validated, want error", i)
+		}
+	}
+}
+
+// TestFigure2BitFieldEquivalence checks that for power-of-two component
+// counts the modular interleaving reproduces the paper's bit-field mapping:
+// with 32 L2 banks and 64B lines, bank = bits 6..10 of the address; with 4
+// channels and 4KB pages, channel = bits 12..13.
+func TestFigure2BitFieldEquivalence(t *testing.T) {
+	l := Layout{LineBytes: 64, PageBytes: 4096, L2Banks: 32, Channels: 4, Ranks: 4, MemBanks: 8}
+	addrs := []uint64{0, 64, 4096, 0xdeadbe40, 1 << 30, (1 << 19) - 64}
+	for _, pa := range addrs {
+		if got, want := l.L2Bank(pa), int((pa>>6)&0x1f); got != want {
+			t.Errorf("L2Bank(%#x) = %d, want bits[10:6] = %d", pa, got, want)
+		}
+		if got, want := l.Channel(pa), int((pa>>12)&0x3); got != want {
+			t.Errorf("Channel(%#x) = %d, want bits[13:12] = %d", pa, got, want)
+		}
+		if got, want := l.Rank(pa), int((pa>>14)&0x3); got != want {
+			t.Errorf("Rank(%#x) = %d, want bits[15:14] = %d", pa, got, want)
+		}
+		if got, want := l.MemBank(pa), int((pa>>16)&0x7); got != want {
+			t.Errorf("MemBank(%#x) = %d, want bits[18:16] = %d", pa, got, want)
+		}
+	}
+}
+
+func TestL2BankCoversAllBanks(t *testing.T) {
+	l := DefaultLayout() // 36 banks
+	seen := make(map[int]bool)
+	for line := uint64(0); line < 200; line++ {
+		b := l.L2Bank(line * l.LineBytes)
+		if b < 0 || b >= l.L2Banks {
+			t.Fatalf("bank %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 36 {
+		t.Errorf("only %d distinct banks seen, want 36", len(seen))
+	}
+}
+
+func TestBankSetRestrictsBanks(t *testing.T) {
+	l := DefaultLayout()
+	l.BankSet = []int{0, 1, 6, 7} // a 2x2 corner "quadrant"
+	allowed := map[int]bool{0: true, 1: true, 6: true, 7: true}
+	for line := uint64(0); line < 100; line++ {
+		if b := l.L2Bank(line * l.LineBytes); !allowed[b] {
+			t.Fatalf("bank %d outside bank set", b)
+		}
+	}
+}
+
+func TestColorModulusPreservesHomes(t *testing.T) {
+	l := DefaultLayout()
+	mod := l.ColorModulus()
+	if mod == 0 {
+		t.Fatal("ColorModulus = 0")
+	}
+	// Two addresses whose pages are congruent mod ColorModulus must have the
+	// same bank for corresponding lines, and the same channel.
+	for trial := uint64(0); trial < 20; trial++ {
+		p1 := trial
+		p2 := trial + 3*mod
+		for lineOff := uint64(0); lineOff < l.LinesPerPage(); lineOff += 7 {
+			a1 := p1*l.PageBytes + lineOff*l.LineBytes
+			a2 := p2*l.PageBytes + lineOff*l.LineBytes
+			if l.L2Bank(a1) != l.L2Bank(a2) {
+				t.Fatalf("pages %d and %d (same color) disagree on bank of line %d", p1, p2, lineOff)
+			}
+		}
+		if l.Channel(p1*l.PageBytes) != l.Channel(p2*l.PageBytes) {
+			t.Fatalf("pages %d and %d (same color) disagree on channel", p1, p2)
+		}
+	}
+}
+
+func TestTranslateStableAndColorPreserving(t *testing.T) {
+	a := MustNewAllocator(DefaultLayout())
+	l := a.Layout()
+
+	va := uint64(0x12345678)
+	pa1 := a.Translate(va)
+	pa2 := a.Translate(va)
+	if pa1 != pa2 {
+		t.Fatalf("translation not stable: %#x vs %#x", pa1, pa2)
+	}
+	if pa1%l.PageBytes != va%l.PageBytes {
+		t.Errorf("page offset not preserved: va %#x -> pa %#x", va, pa1)
+	}
+	// Same page, different offset -> same physical page.
+	pa3 := a.Translate(va + 8)
+	if l.PageIndex(pa3) != l.PageIndex(pa1) {
+		t.Error("same virtual page translated to different physical pages")
+	}
+}
+
+func TestTranslatePreservesBankAndChannel(t *testing.T) {
+	a := MustNewAllocator(DefaultLayout())
+	l := a.Layout()
+	if err := quick.Check(func(raw uint64) bool {
+		va := raw % (1 << 32)
+		pa := a.Translate(va)
+		return l.L2Bank(va) == l.L2Bank(pa) && l.Channel(va) == l.Channel(pa)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if err := a.CheckColorInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateDistinctPagesGetDistinctFrames(t *testing.T) {
+	a := MustNewAllocator(DefaultLayout())
+	l := a.Layout()
+	frames := make(map[uint64]uint64)
+	for vp := uint64(0); vp < 500; vp++ {
+		pa := a.Translate(vp * l.PageBytes)
+		pf := l.PageIndex(pa)
+		if prev, dup := frames[pf]; dup {
+			t.Fatalf("virtual pages %d and %d share physical frame %d", prev, vp, pf)
+		}
+		frames[pf] = vp
+	}
+	if a.AllocatedPages() != 500 {
+		t.Errorf("AllocatedPages = %d, want 500", a.AllocatedPages())
+	}
+}
+
+func TestHomeBankVAMatchesTranslation(t *testing.T) {
+	a := MustNewAllocator(DefaultLayout())
+	l := a.Layout()
+	for _, va := range []uint64{0, 64, 4096 + 128, 1 << 22, 0xfeed0} {
+		pa := a.Translate(va)
+		if a.HomeBankVA(va) != l.L2Bank(pa) {
+			t.Errorf("HomeBankVA(%#x) = %d but PA bank = %d", va, a.HomeBankVA(va), l.L2Bank(pa))
+		}
+		if a.ChannelVA(va) != l.Channel(pa) {
+			t.Errorf("ChannelVA(%#x) = %d but PA channel = %d", va, a.ChannelVA(va), l.Channel(pa))
+		}
+	}
+}
+
+func TestLcmGcd(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{4, 6, 12}, {36, 64, 576}, {1, 7, 7}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := lcm(c.a, c.b); got != c.want {
+			t.Errorf("lcm(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLineHelpers(t *testing.T) {
+	l := DefaultLayout()
+	if l.LinesPerPage() != 64 {
+		t.Errorf("LinesPerPage = %d, want 64", l.LinesPerPage())
+	}
+	if l.LineAddr(130) != 128 {
+		t.Errorf("LineAddr(130) = %d, want 128", l.LineAddr(130))
+	}
+	if l.LineIndex(130) != 2 {
+		t.Errorf("LineIndex(130) = %d, want 2", l.LineIndex(130))
+	}
+}

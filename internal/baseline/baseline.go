@@ -1,0 +1,356 @@
+// Package baseline implements the computation placement strategies the
+// paper compares against:
+//
+//   - the "default" strategy (Section 6.1): iteration-granularity placement,
+//     highly optimized for last-level-cache locality using profile data —
+//     each chunk of iterations runs on the core that minimizes the total
+//     distance to the L2 banks and memory controllers it touches;
+//   - two weaker prior-work-style baselines in the spirit of Lu et al. [49]
+//     (layout-driven block distribution) and Ding et al. [17] (memory
+//     -controller-affine mapping), used for the 8.3%/12.6% comparison;
+//   - the profile-based data-to-MC page mapping of Section 6.5 (Figure 23).
+//
+// All strategies keep iterations whole (no subcomputation splitting) and
+// emit the same task format the optimized partitioner does, so the simulator
+// treats both identically.
+package baseline
+
+import (
+	"fmt"
+
+	"dmacp/internal/cache"
+	"dmacp/internal/core"
+	"dmacp/internal/ir"
+	"dmacp/internal/mesh"
+)
+
+// Strategy selects the placement policy.
+type Strategy int
+
+// The implemented placement strategies.
+const (
+	// ProfiledLocality is the paper's default: profile-guided, LLC-locality
+	// optimized chunk placement.
+	ProfiledLocality Strategy = iota
+	// BlockDistribution emulates layout-driven schemes (Lu et al. [49]):
+	// contiguous iteration blocks dealt to cores in row-major order.
+	BlockDistribution
+	// MCAffine emulates MC-locality schemes (Ding et al. [17]): each chunk
+	// runs on the core nearest the memory controller it uses most.
+	MCAffine
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case ProfiledLocality:
+		return "profiled-locality"
+	case BlockDistribution:
+		return "block-distribution"
+	case MCAffine:
+		return "mc-affine"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Result is the default execution's plan and statistics, shaped like the
+// partitioner's output so experiments can compare them directly.
+type Result struct {
+	// Schedule is the iteration-granularity task DAG.
+	Schedule *core.Schedule
+	// TotalMovement is the default data movement (Equation 1) summed over
+	// statement instances; Avg/Max are per-instance.
+	TotalMovement int64
+	AvgMovement   float64
+	MaxMovement   int
+	// L1HitRate is the default execution's modeled L1 hit rate.
+	L1HitRate float64
+	// ChunkOf records the core assigned to each iteration chunk.
+	ChunkOf []mesh.NodeID
+}
+
+// chunkCount controls placement granularity: the iteration space splits into
+// about this many chunks per core.
+const chunksPerCore = 4
+
+// Place builds the default (iteration-granularity) execution of a nest under
+// the chosen strategy. The options carry the platform description; the
+// predictor and reuse settings are ignored (the default strategy fetches
+// everything to the assigned core).
+func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, strat Strategy) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nest.Body) == 0 {
+		return nil, fmt.Errorf("baseline: nest %q has an empty body", nest.Name)
+	}
+	if opts.Predictor != nil {
+		// Use a private clone so the caller's predictor state is untouched
+		// (the optimized pipeline does the same per pass).
+		opts.Predictor = opts.Predictor.Fresh()
+	}
+
+	iters := nest.Iterations()
+	nodes := opts.Mesh.Nodes()
+	chunkSize := iters / (nodes * chunksPerCore)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	numChunks := (iters + chunkSize - 1) / chunkSize
+
+	// Profiling pass: per chunk, tally access distance mass per candidate
+	// core (for ProfiledLocality) and MC usage (for MCAffine).
+	profLoc, err := core.NewLocator(&opts)
+	if err != nil {
+		return nil, err
+	}
+	type chunkProfile struct {
+		locs    []core.LineLoc // all located refs of the chunk, in order
+		mcCount map[mesh.NodeID]int
+	}
+	profiles := make([]*chunkProfile, numChunks)
+	for c := range profiles {
+		profiles[c] = &chunkProfile{mcCount: make(map[mesh.NodeID]int)}
+	}
+	for it := 0; it < iters; it++ {
+		env := nest.IterationEnv(it)
+		cp := profiles[it/chunkSize]
+		for _, stmt := range nest.Body {
+			for _, ref := range stmt.AllRefs() {
+				ll, ok := profLoc.LocateRef(prog, ref, env, store)
+				if !ok {
+					continue
+				}
+				cp.locs = append(cp.locs, ll)
+				cp.mcCount[ll.MC]++
+			}
+		}
+	}
+
+	// Chunk-to-core assignment: among cores with remaining capacity, pick the
+	// one optimizing the strategy's objective (profile-guided).
+	chunkOf := make([]mesh.NodeID, numChunks)
+	perCoreCap := (numChunks + nodes - 1) / nodes
+	coreLoad := make([]int, nodes)
+	for c, cp := range profiles {
+		switch strat {
+		case BlockDistribution:
+			chunkOf[c] = mesh.NodeID(c % nodes)
+		case MCAffine:
+			topMC := bestMCCore(opts.Mesh, cp.mcCount)
+			chunkOf[c] = bestAvailable(opts.Mesh, coreLoad, perCoreCap, func(n mesh.NodeID) int {
+				return opts.Mesh.Distance(n, topMC)
+			})
+		default: // ProfiledLocality
+			chunkOf[c] = bestAvailable(opts.Mesh, coreLoad, perCoreCap, func(n mesh.NodeID) int {
+				sum := 0
+				for _, ll := range cp.locs {
+					sum += opts.Mesh.Distance(n, ll.Node())
+				}
+				return sum
+			})
+		}
+		coreLoad[chunkOf[c]]++
+	}
+
+	// Emission pass: one task per statement instance on the chunk's core,
+	// with a fresh locator so the L2/predictor history matches what the
+	// optimized pass observes.
+	emitLoc, err := core.NewLocator(&opts)
+	if err != nil {
+		return nil, err
+	}
+	l1 := make([]*cache.Cache, nodes)
+	for i := range l1 {
+		l1[i] = cache.MustNew(cache.Config{
+			SizeBytes: opts.L1Bytes, LineBytes: opts.Layout.LineBytes, Ways: opts.L1Ways,
+		})
+	}
+	sched := &core.Schedule{Instances: iters * len(nest.Body)}
+	res := &Result{Schedule: sched, ChunkOf: chunkOf}
+	lastWriter := make(map[uint64]int)
+
+	for it := 0; it < iters; it++ {
+		env := nest.IterationEnv(it)
+		node := chunkOf[it/chunkSize]
+		for si, stmt := range nest.Body {
+			storeLL, ok := emitLoc.LocateRef(prog, stmt.LHS, env, store)
+			if !ok {
+				arr := prog.Array(stmt.LHS.Array)
+				if arr == nil {
+					return nil, fmt.Errorf("baseline: statement %q writes undeclared array", stmt)
+				}
+				storeLL = emitLoc.Locate(emitLoc.Allocator().Translate(arr.Base))
+			}
+			t := &core.Task{
+				ID:     len(sched.Tasks),
+				Node:   node,
+				Ops:    opWeighted(stmt, opts.DivWeight),
+				Mix:    stmt.OpMix(),
+				IsRoot: true,
+				Stmt:   si,
+				Iter:   it,
+			}
+			movement := 0
+			for _, ref := range stmt.Inputs() {
+				ll, ok := emitLoc.LocateRef(prog, ref, env, store)
+				if !ok {
+					ll = storeLL
+				}
+				hit := l1[node].Access(ll.Line)
+				t.Fetches = append(t.Fetches, core.Fetch{
+					From:   ll.Node(),
+					Line:   ll.Line,
+					L2Miss: !ll.ActualHit && !hit,
+					L1Hit:  hit,
+				})
+				if !hit {
+					movement += opts.Mesh.Distance(node, ll.Node())
+				}
+				if w, okw := lastWriter[ll.Line]; okw {
+					t.WaitFor = append(t.WaitFor, w)
+					t.WaitHops = append(t.WaitHops, opts.Mesh.Distance(sched.Tasks[w].Node, node))
+					sched.SyncsBefore++
+				}
+			}
+			// The result is stored at the output's home node: the writing
+			// core issues a write-allocate (RFO) fetch of the output line
+			// unless it already owns it. The optimized schedule's root task
+			// performs the store at the home node itself, which is exactly
+			// the near-data advantage being measured.
+			storeHit := l1[node].Contains(storeLL.Line)
+			t.Fetches = append(t.Fetches, core.Fetch{
+				From:   storeLL.Node(),
+				Line:   storeLL.Line,
+				L2Miss: !storeLL.ActualHit && !storeHit,
+				L1Hit:  storeHit,
+			})
+			movement += opts.Mesh.Distance(node, storeLL.Home)
+			l1[node].Access(storeLL.Line)
+			t.ResultLine = storeLL.Line
+			lastWriter[storeLL.Line] = t.ID
+			sched.Tasks = append(sched.Tasks, t)
+
+			res.TotalMovement += int64(movement)
+			if movement > res.MaxMovement {
+				res.MaxMovement = movement
+			}
+		}
+	}
+	sched.SyncsAfter = sched.SyncsBefore
+
+	if sched.Instances > 0 {
+		res.AvgMovement = float64(res.TotalMovement) / float64(sched.Instances)
+	}
+	var agg cache.Stats
+	for _, c := range l1 {
+		s := c.Stats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+	}
+	res.L1HitRate = agg.HitRate()
+	return res, nil
+}
+
+// opWeighted returns the statement's weighted op count as a float.
+func opWeighted(stmt *ir.Statement, divWeight int) float64 {
+	return float64(stmt.OpCount(divWeight))
+}
+
+// bestAvailable returns the core with remaining capacity minimizing the
+// objective (ties to the lower node id).
+func bestAvailable(m *mesh.Mesh, load []int, capPerCore int, objective func(mesh.NodeID) int) mesh.NodeID {
+	best := mesh.InvalidNode
+	bestVal := 1 << 62
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if load[n] >= capPerCore {
+			continue
+		}
+		if v := objective(n); v < bestVal {
+			best, bestVal = n, v
+		}
+	}
+	if best == mesh.InvalidNode {
+		return 0
+	}
+	return best
+}
+
+// bestMCCore returns the most used memory controller of a chunk.
+func bestMCCore(m *mesh.Mesh, mcCount map[mesh.NodeID]int) mesh.NodeID {
+	var topMC mesh.NodeID
+	top := -1
+	for _, mc := range m.MemoryControllers() {
+		if c := mcCount[mc]; c > top {
+			topMC, top = mc, c
+		}
+	}
+	return topMC
+}
+
+// BuildMCMap computes the profile-based data-to-MC page mapping of Section
+// 6.5: each page is assigned to the memory controller preferred by the
+// nearest-MC vote of the cores that access it most. It returns a page-number
+// to MC-node map suitable for core.Options.MCOverride.
+func BuildMCMap(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, placement *Result) (map[uint64]mesh.NodeID, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Predictor != nil {
+		opts.Predictor = opts.Predictor.Fresh()
+	}
+	loc, err := core.NewLocator(&opts)
+	if err != nil {
+		return nil, err
+	}
+	iters := nest.Iterations()
+	chunkSize := iters / (opts.Mesh.Nodes() * chunksPerCore)
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	// votes[page][mc] accumulates accesses weighted by proximity of the
+	// accessing core.
+	votes := make(map[uint64]map[mesh.NodeID]int)
+	for it := 0; it < iters; it++ {
+		env := nest.IterationEnv(it)
+		var node mesh.NodeID
+		if placement != nil && len(placement.ChunkOf) > 0 {
+			node = placement.ChunkOf[(it/chunkSize)%len(placement.ChunkOf)]
+		}
+		for _, stmt := range nest.Body {
+			for _, ref := range stmt.AllRefs() {
+				ll, ok := loc.LocateRef(prog, ref, env, store)
+				if !ok {
+					continue
+				}
+				page := ll.Line / opts.Layout.PageBytes
+				if votes[page] == nil {
+					votes[page] = make(map[mesh.NodeID]int)
+				}
+				votes[page][opts.Mesh.NearestMC(node)]++
+			}
+		}
+	}
+	// Remap only pages with a clear winner; pages accessed evenly from many
+	// cores (the paper's "middle of the grid" case) keep the default
+	// interleaving — Section 6.5 notes the scheme only helps when used
+	// selectively, and remapping ambiguous pages merely concentrates memory
+	// traffic on one controller.
+	const winnerShare = 0.6
+	out := make(map[uint64]mesh.NodeID, len(votes))
+	for page, v := range votes {
+		var bestMC mesh.NodeID
+		best, total := -1, 0
+		for _, mc := range opts.Mesh.MemoryControllers() {
+			c := v[mc]
+			total += c
+			if c > best {
+				bestMC, best = mc, c
+			}
+		}
+		if total > 0 && float64(best) >= winnerShare*float64(total) {
+			out[page] = bestMC
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package cache implements set-associative LRU caches used to model the
+// per-node private L1 caches and the distributed shared L2 banks (SNUCA) of
+// the target manycore. The caches operate on cache-line addresses and track
+// hit/miss/eviction statistics; the timing simulator and the window-size
+// experiments (L1 pollution, Figures 16 and 21) are built on them.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes uint64
+	// LineBytes is the cache line size.
+	LineBytes uint64
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LineBytes == 0 || c.SizeBytes == 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: config fields must be positive: %+v", c)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%uint64(c.Ways) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	return int(c.SizeBytes / c.LineBytes / uint64(c.Ways))
+}
+
+// Stats counts cache events since the last Reset.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Accesses returns hits plus misses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+// HitRate returns hits / accesses, or 0 when there were no accesses.
+func (s Stats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It is not
+// safe for concurrent use; the simulator drives each cache from one
+// goroutine.
+type Cache struct {
+	cfg   Config
+	sets  [][]uint64 // per-set LRU list of line addresses, most recent last
+	stats Stats
+}
+
+// New creates a cache. The configuration must be valid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]uint64, cfg.Sets())
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(addr uint64) int {
+	return int(addr / c.cfg.LineBytes % uint64(len(c.sets)))
+}
+
+// Access looks up the line containing addr, updating LRU state and
+// statistics. On a miss the line is brought in, possibly evicting the LRU
+// line of its set. It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr &^ (c.cfg.LineBytes - 1)
+	si := c.setOf(line)
+	set := c.sets[si]
+	for i, tag := range set {
+		if tag == line {
+			// Move to MRU position.
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = line
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	if len(set) == c.cfg.Ways {
+		copy(set, set[1:])
+		set[len(set)-1] = line
+		c.stats.Evictions++
+	} else {
+		c.sets[si] = append(set, line)
+	}
+	return false
+}
+
+// Contains probes for the line containing addr without touching LRU state or
+// statistics. The compiler-side L1 reuse model uses it to ask "would this be
+// a hit?" without perturbing the cache.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr &^ (c.cfg.LineBytes - 1)
+	for _, tag := range c.sets[c.setOf(line)] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr if present, returning whether
+// it was.
+func (c *Cache) Invalidate(addr uint64) bool {
+	line := addr &^ (c.cfg.LineBytes - 1)
+	si := c.setOf(line)
+	set := c.sets[si]
+	for i, tag := range set {
+		if tag == line {
+			c.sets[si] = append(set[:i], set[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush empties the cache and clears the counters.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+	c.stats = Stats{}
+}
+
+// Lines returns the number of resident lines, for tests and diagnostics.
+func (c *Cache) Lines() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{SizeBytes: 512, LineBytes: 64, Ways: 2} } // 4 sets x 2 ways
+
+func TestConfigValidate(t *testing.T) {
+	good := small()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Sets() != 4 {
+		t.Errorf("Sets = %d, want 4", good.Sets())
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 512, LineBytes: 0, Ways: 2},
+		{SizeBytes: 512, LineBytes: 64, Ways: 0},
+		{SizeBytes: 500, LineBytes: 64, Ways: 2},
+		{SizeBytes: 512, LineBytes: 64, Ways: 3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(small())
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1038) { // same line (64B)
+		t.Error("same-line access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 2.0/3.0 {
+		t.Errorf("HitRate = %v", st.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(small()) // 4 sets, 2 ways; lines mapping to set 0: addr multiples of 256
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Contains(a) {
+		t.Error("a evicted, should have been b")
+	}
+	if c.Contains(b) {
+		t.Error("b still resident")
+	}
+	if !c.Contains(d) {
+		t.Error("d not resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := MustNew(small())
+	c.Access(0)
+	c.Access(256) // set 0 full: LRU=0, MRU=256
+	// Probing 0 must not promote it.
+	if !c.Contains(0) {
+		t.Fatal("0 not resident")
+	}
+	c.Access(512) // should evict 0 (still LRU despite the probe)
+	if c.Contains(0) {
+		t.Error("Contains perturbed LRU order")
+	}
+	st := c.Stats()
+	if st.Accesses() != 3 {
+		t.Errorf("Contains counted as access: %+v", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(small())
+	c.Access(0x40)
+	if !c.Invalidate(0x40) {
+		t.Error("Invalidate missed resident line")
+	}
+	if c.Invalidate(0x40) {
+		t.Error("Invalidate hit absent line")
+	}
+	if c.Contains(0x40) {
+		t.Error("line still resident after invalidate")
+	}
+}
+
+func TestFlushAndResetStats(t *testing.T) {
+	c := MustNew(small())
+	c.Access(0)
+	c.Access(0)
+	c.ResetStats()
+	if st := c.Stats(); st.Accesses() != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if c.Lines() != 1 {
+		t.Errorf("ResetStats dropped contents: %d lines", c.Lines())
+	}
+	c.Flush()
+	if c.Lines() != 0 {
+		t.Error("Flush left lines resident")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a line just accessed is
+// always resident.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, LineBytes: 64, Ways: 4}
+	c := MustNew(cfg)
+	rng := rand.New(rand.NewSource(9))
+	maxLines := int(cfg.SizeBytes / cfg.LineBytes)
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1 << 16))
+		c.Access(addr)
+		if !c.Contains(addr) {
+			t.Fatalf("line %#x absent immediately after access", addr)
+		}
+		if c.Lines() > maxLines {
+			t.Fatalf("occupancy %d exceeds capacity %d", c.Lines(), maxLines)
+		}
+	}
+	st := c.Stats()
+	if st.Accesses() != 5000 {
+		t.Errorf("accesses = %d", st.Accesses())
+	}
+	if st.Misses != st.Evictions+int64(c.Lines()) {
+		t.Errorf("misses (%d) != evictions (%d) + resident (%d)", st.Misses, st.Evictions, c.Lines())
+	}
+}
+
+// Property: hit/miss behaviour is a pure function of the access sequence.
+func TestDeterministic(t *testing.T) {
+	cfg := Config{SizeBytes: 512, LineBytes: 64, Ways: 2}
+	if err := quick.Check(func(addrs []uint16) bool {
+		c1, c2 := MustNew(cfg), MustNew(cfg)
+		for _, a := range addrs {
+			if c1.Access(uint64(a)) != c2.Access(uint64(a)) {
+				return false
+			}
+		}
+		return c1.Stats() == c2.Stats()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A working set exactly equal to capacity must fully hit on the second pass
+// (no conflict misses when lines spread evenly).
+func TestFullCapacityWorkingSet(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, LineBytes: 64, Ways: 4}
+	c := MustNew(cfg)
+	lines := int(cfg.SizeBytes / cfg.LineBytes)
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i) * cfg.LineBytes)
+	}
+	c.ResetStats()
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i) * cfg.LineBytes)
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		t.Errorf("second pass misses = %d, want 0", st.Misses)
+	}
+}
+
+// A working set larger than capacity accessed cyclically with LRU must miss
+// every time (the classic LRU worst case) — this is the pollution effect
+// that makes very large statement windows unprofitable (Section 4.4).
+func TestCyclicThrashing(t *testing.T) {
+	cfg := Config{SizeBytes: 512, LineBytes: 64, Ways: 8} // fully associative, 8 lines
+	c := MustNew(cfg)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 9; i++ { // 9 lines > 8 capacity
+			c.Access(uint64(i) * 64)
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("cyclic overflow produced %d hits, want 0", st.Hits)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "sort"
+
+// PlanAnalysis is the rooted-tree view of a StatementPlan with the metrics
+// the evaluation reports: subcomputation counts, intra-statement parallelism
+// and synchronization needs.
+type PlanAnalysis struct {
+	// Parent[v] is the tree parent of vertex v (-1 for the root).
+	Parent []int
+	// Children[v] lists v's children, ascending.
+	Children [][]int
+	// PostOrder lists vertices children-before-parents, the execution order
+	// of subcomputations (Section 4.3).
+	PostOrder []int
+	// OpsAt[v] is the number of binary combines performed at vertex v.
+	OpsAt []int
+	// EdgeUp[v] is the weight of the edge from v to its parent (0 for root).
+	EdgeUp []int
+	// Subcomputations is the number of vertices performing at least one op.
+	Subcomputations int
+	// Parallelism is the number of independent leaf-to-root chains that can
+	// execute concurrently (the paper's degree of parallelism, Figure 14).
+	Parallelism int
+	// Syncs is the number of point-to-point synchronizations the statement
+	// needs before reduction: one per tree edge whose child subtree produced
+	// a computed partial result (Figures 6 and 15).
+	Syncs int
+}
+
+// Analyze roots the plan at its store vertex and derives the metrics.
+func (p *StatementPlan) Analyze() *PlanAnalysis {
+	n := len(p.Vertices)
+	a := &PlanAnalysis{
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		OpsAt:    make([]int, n),
+		EdgeUp:   make([]int, n),
+	}
+	adj := make([][]PlanEdge, n)
+	for _, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], e)
+		adj[e.To] = append(adj[e.To], PlanEdge{From: e.To, To: e.From, Weight: e.Weight})
+	}
+	for i := range a.Parent {
+		a.Parent[i] = -1
+	}
+	// Iterative DFS from the root.
+	visited := make([]bool, n)
+	stack := []int{p.Root}
+	visited[p.Root] = true
+	var pre []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pre = append(pre, v)
+		for _, e := range adj[v] {
+			if !visited[e.To] {
+				visited[e.To] = true
+				a.Parent[e.To] = v
+				a.EdgeUp[e.To] = e.Weight
+				a.Children[v] = append(a.Children[v], e.To)
+				stack = append(stack, e.To)
+			}
+		}
+		sort.Ints(a.Children[v])
+	}
+	// Post-order.
+	var post func(v int)
+	post = func(v int) {
+		for _, c := range a.Children[v] {
+			post(c)
+		}
+		a.PostOrder = append(a.PostOrder, v)
+	}
+	post(p.Root)
+
+	// Ops per vertex: combining k incoming values (local lines + child
+	// partials) takes k-1 binary ops; a root with one incoming value just
+	// stores it.
+	computes := make([]bool, n)
+	leaves := 0
+	for _, v := range a.PostOrder {
+		incoming := len(p.Vertices[v].Lines) + len(a.Children[v])
+		if incoming >= 2 {
+			a.OpsAt[v] = incoming - 1
+			a.Subcomputations++
+		}
+		computes[v] = a.OpsAt[v] > 0
+		for _, c := range a.Children[v] {
+			if computes[c] {
+				computes[v] = true // subtree computed something
+			}
+		}
+		if len(a.Children[v]) == 0 && v != p.Root {
+			leaves++
+		}
+	}
+	if leaves == 0 {
+		leaves = 1
+	}
+	a.Parallelism = leaves
+	// Syncs: a parent must wait for a child's result only when the child
+	// subtree computed a partial; a child that merely holds data is read
+	// with an ordinary remote fetch.
+	for v := 0; v < n; v++ {
+		if v == p.Root || a.Parent[v] == -1 {
+			continue
+		}
+		if computes[v] {
+			a.Syncs++
+		}
+	}
+	return a
+}

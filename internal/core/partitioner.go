@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+
+	"dmacp/internal/cache"
+	"dmacp/internal/ir"
+	"dmacp/internal/mesh"
+)
+
+// Stats aggregates the per-statement metrics of one partitioned nest.
+type Stats struct {
+	// Instances is the number of statement instances scheduled.
+	Instances int
+	// TotalMovement is the optimized data movement (links traversed) summed
+	// over all statement instances, including load-balancing penalties.
+	TotalMovement int64
+	// AvgMovement and MaxMovement are per-statement-instance figures
+	// (Figure 13 reports reductions of these against the default).
+	AvgMovement float64
+	MaxMovement int
+	// AvgParallelism and MaxParallelism are the degree-of-parallelism
+	// figures of Figure 14.
+	AvgParallelism float64
+	MaxParallelism int
+	// SyncsPerStatement is the post-reduction synchronization count per
+	// statement instance (Figure 15).
+	SyncsPerStatement float64
+	// SubcomputationsPerStatement is the average number of subcomputations a
+	// statement is split into.
+	SubcomputationsPerStatement float64
+	// ReuseHits counts operands satisfied from a reused L1 copy.
+	ReuseHits int64
+	// L1HitRate is the hit rate of the per-node L1 models during the
+	// optimized execution (Figure 16/21).
+	L1HitRate float64
+	// Imbalance is max/mean node load after load balancing.
+	Imbalance float64
+}
+
+// Result is the outcome of partitioning one loop nest.
+type Result struct {
+	Nest *ir.Nest
+	// WindowSize is the statement window the adaptive search selected (or
+	// the fixed size when Options.FixedWindow was set).
+	WindowSize int
+	// MovementBySize and L1HitBySize record the window-size exploration
+	// (Figures 20/21): total movement and model-L1 hit rate per trial size.
+	MovementBySize map[int]int64
+	L1HitBySize    map[int]float64
+	// Schedule is the emitted task DAG for the chosen window size.
+	Schedule *Schedule
+	// Stats are the chosen pass's aggregates.
+	Stats Stats
+	// AnalyzableFraction is the Table 1 figure observed during location
+	// detection.
+	AnalyzableFraction float64
+	// PredictorAccuracy is the Table 2 figure (0 when no predictor is set).
+	PredictorAccuracy float64
+	// OffloadMix tallies re-mapped (non-root) subcomputation ops by class
+	// (Table 3).
+	OffloadMix map[ir.OpClass]int
+	// UsedInspector reports whether may-dependences forced an
+	// inspector–executor split of the timing loop.
+	UsedInspector bool
+	// LineLabels names each cache line after the first reference that
+	// touched it ("B[24]"); code generation renders schedules with them.
+	LineLabels map[uint64]string
+}
+
+// Partition runs the full NDP-aware partitioning pipeline of Algorithm 1 on
+// one loop nest: location detection, per-window-size trial scheduling,
+// window-size selection by minimum data movement, and final task emission
+// with load balancing and synchronization reduction.
+//
+// store carries the runtime array contents; it is required when the body has
+// indirect accesses (the inspector resolves them through it) and may be nil
+// otherwise.
+func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nest.Body) == 0 {
+		return nil, fmt.Errorf("core: nest %q has an empty body", nest.Name)
+	}
+
+	usedInspector := false
+	if ir.HasMayDeps(nest.Body) && store != nil {
+		// Inspector phase: resolve indirect accesses through runtime values
+		// (Section 4.5). The executor below consults the same store, which
+		// is exactly what the inspector recorded.
+		ins := ir.NewInspector(prog, nest)
+		if err := ins.Run(store); err != nil {
+			return nil, fmt.Errorf("core: inspector: %w", err)
+		}
+		usedInspector = true
+	}
+
+	res := &Result{
+		Nest:           nest,
+		MovementBySize: make(map[int]int64),
+		L1HitBySize:    make(map[int]float64),
+		UsedInspector:  usedInspector,
+	}
+	var best *passResult
+	for _, w := range opts.windowSizes() {
+		pr, err := runPass(prog, nest, store, &opts, w)
+		if err != nil {
+			return nil, err
+		}
+		res.MovementBySize[w] = pr.stats.TotalMovement
+		res.L1HitBySize[w] = pr.stats.L1HitRate
+		if best == nil || pr.stats.TotalMovement < best.stats.TotalMovement {
+			best = pr
+		}
+	}
+	res.WindowSize = best.window
+	res.Schedule = best.schedule
+	res.Stats = best.stats
+	res.AnalyzableFraction = best.analyzable
+	res.PredictorAccuracy = best.predAccuracy
+	res.OffloadMix = best.offloadMix
+	res.LineLabels = best.labels
+	return res, nil
+}
+
+// passResult is one window-size trial.
+type passResult struct {
+	window       int
+	schedule     *Schedule
+	stats        Stats
+	analyzable   float64
+	predAccuracy float64
+	offloadMix   map[ir.OpClass]int
+	labels       map[uint64]string
+}
+
+// runPass performs one complete scheduling pass over the nest with a fixed
+// statement-window size.
+func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, window int) (*passResult, error) {
+	passOpts := *opts
+	if opts.Predictor != nil {
+		passOpts.Predictor = opts.Predictor.Fresh()
+	}
+	loc, err := NewLocator(&passOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-node L1 shadow caches model reuse validity and pollution.
+	l1 := make([]*cache.Cache, passOpts.Mesh.Nodes())
+	for i := range l1 {
+		l1[i] = cache.MustNew(cache.Config{
+			SizeBytes: passOpts.L1Bytes,
+			LineBytes: passOpts.Layout.LineBytes,
+			Ways:      passOpts.L1Ways,
+		})
+	}
+
+	sched := &Schedule{}
+	lt := newLoadTracker(passOpts.Mesh.Nodes(), passOpts.LoadThreshold)
+	// variable2node: which nodes fetched a line earlier in the current
+	// window (Algorithm 1 line 34). Cleared at window boundaries.
+	varMap := make(map[uint64][]mesh.NodeID)
+	// lastWriter: most recent root task writing a line, for inter-statement
+	// flow dependences.
+	lastWriter := make(map[uint64]int)
+
+	body := nest.Body
+	m := len(body)
+	instances := nest.Iterations() * m
+	sched.Instances = instances
+
+	stats := Stats{Instances: instances}
+	offload := make(map[ir.OpClass]int)
+	var sumPar, sumSub float64
+
+	var env map[string]int
+	for k := 0; k < instances; k++ {
+		if k%window == 0 {
+			// New window: the compiler's reuse map does not cross windows
+			// (Section 4.4; the S22 example of Figure 12).
+			clear(varMap)
+		}
+		iter := k / m
+		stmtIdx := k % m
+		if stmtIdx == 0 {
+			env = nest.IterationEnv(iter)
+		}
+		stmt := body[stmtIdx]
+
+		// Locate the store (output home).
+		storeLoc, ok := loc.LocateRef(prog, stmt.LHS, env, store)
+		if !ok {
+			// Unresolvable output (indirect without runtime info): anchor at
+			// the array's base location.
+			arr := prog.Array(stmt.LHS.Array)
+			if arr == nil {
+				return nil, fmt.Errorf("core: statement %q writes undeclared array", stmt)
+			}
+			storeLoc = loc.Locate(loc.Allocator().Translate(arr.Base))
+		}
+
+		// Locate every input leaf; attach in-window L1 copies as candidate
+		// reuse nodes if the shadow L1 still holds them.
+		set := ir.NestedSets(stmt.RHS)
+		infos := make(map[*ir.Ref]operandInfo)
+		for _, ref := range set.Leaves(nil) {
+			li, ok := loc.LocateRef(prog, ref, env, store)
+			if !ok {
+				li = LineLoc{Line: storeLoc.Line, Home: storeLoc.Home, MC: storeLoc.MC,
+					PredictedHit: true, ActualHit: true}
+			}
+			info := operandInfo{loc: li}
+			if passOpts.ReuseAware {
+				for _, n := range varMap[li.Line] {
+					if n != li.Node() && l1[n].Contains(li.Line) {
+						info.reuseNodes = append(info.reuseNodes, n)
+					}
+				}
+			}
+			infos[ref] = info
+		}
+
+		plan := buildPlan(passOpts.Mesh, set, func(r *ir.Ref) operandInfo { return infos[r] }, storeLoc)
+		an := plan.Analyze()
+
+		opWeight := 1.0
+		if c := stmt.OpCount(1); c > 0 {
+			opWeight = float64(stmt.OpCount(passOpts.DivWeight)) / float64(c)
+		}
+		mix := stmt.OpMix()
+		root, extra := sched.emitTasks(passOpts.Mesh, plan, an, stmtIdx, iter, k/window, opWeight, mix, stmt.OpCount(1), lt)
+
+		// Inter-statement flow dependences: the root (and any task fetching
+		// a previously written line) must follow the writer.
+		for ti := len(sched.Tasks) - 1; ti >= 0 && sched.Tasks[ti].Iter == iter && sched.Tasks[ti].Stmt == stmtIdx; ti-- {
+			t := sched.Tasks[ti]
+			for _, f := range t.Fetches {
+				if w, ok := lastWriter[f.Line]; ok {
+					t.addWait(w, passOpts.Mesh.Distance(sched.Tasks[w].Node, t.Node))
+					sched.SyncsBefore++
+				}
+			}
+		}
+		root.ResultLine = storeLoc.Line
+		lastWriter[storeLoc.Line] = root.ID
+
+		// Update the reuse map and L1 models with what this statement pulled
+		// where: every fetched line lands in the L1 of the task that consumed
+		// it (that is where a later statement can find a copy — the C(i) in
+		// n_D's L1 of Figure 11).
+		for ti := len(sched.Tasks) - an.countTasks(); ti < len(sched.Tasks); ti++ {
+			task := sched.Tasks[ti]
+			for fi := range task.Fetches {
+				f := &task.Fetches[fi]
+				// Physical locality: a line still resident in the consuming
+				// node's L1 (from any earlier access, window or not) is an
+				// L1 hit and needs no L2/DRAM service.
+				if l1[task.Node].Contains(f.Line) {
+					f.L1Hit = true
+					f.L2Miss = false
+				}
+				l1[task.Node].Access(f.Line)
+				varMap[f.Line] = appendNode(varMap[f.Line], task.Node)
+			}
+		}
+		l1[storeLoc.Home].Access(storeLoc.Line)
+		varMap[storeLoc.Line] = appendNode(varMap[storeLoc.Line], storeLoc.Home)
+
+		// Aggregate statement metrics.
+		mv := plan.Movement + extra
+		stats.TotalMovement += int64(mv)
+		if mv > stats.MaxMovement {
+			stats.MaxMovement = mv
+		}
+		sumPar += float64(an.Parallelism)
+		if an.Parallelism > stats.MaxParallelism {
+			stats.MaxParallelism = an.Parallelism
+		}
+		sumSub += float64(an.Subcomputations)
+		stats.ReuseHits += int64(plan.ReuseHits)
+		for _, t := range sched.Tasks[len(sched.Tasks)-an.countTasks():] {
+			if !t.IsRoot {
+				for c, n := range t.Mix {
+					offload[c] += n
+				}
+			}
+		}
+	}
+
+	dedupeWaits(sched.Tasks)
+	removed := reduceSyncs(sched.Tasks)
+	sched.SyncsAfter = sched.SyncsBefore - removed
+	if sched.SyncsAfter < 0 {
+		sched.SyncsAfter = 0
+	}
+
+	if instances > 0 {
+		stats.AvgMovement = float64(stats.TotalMovement) / float64(instances)
+		stats.AvgParallelism = sumPar / float64(instances)
+		stats.SyncsPerStatement = float64(sched.SyncsAfter) / float64(instances)
+		stats.SubcomputationsPerStatement = sumSub / float64(instances)
+	}
+	var l1Stats cache.Stats
+	for _, c := range l1 {
+		s := c.Stats()
+		l1Stats.Hits += s.Hits
+		l1Stats.Misses += s.Misses
+	}
+	stats.L1HitRate = l1Stats.HitRate()
+	stats.Imbalance = lt.Imbalance()
+
+	pr := &passResult{
+		window:     window,
+		schedule:   sched,
+		stats:      stats,
+		analyzable: loc.AnalyzableFraction(),
+		offloadMix: offload,
+		labels:     loc.LineLabels(),
+	}
+	if passOpts.Predictor != nil {
+		pr.predAccuracy = passOpts.Predictor.Accuracy()
+	}
+	return pr, nil
+}
+
+// countTasks returns how many tasks the analyzed plan emits (vertices with
+// ops plus the root).
+func (a *PlanAnalysis) countTasks() int {
+	n := 0
+	root := a.PostOrder[len(a.PostOrder)-1]
+	for _, v := range a.PostOrder {
+		if a.OpsAt[v] > 0 || v == root {
+			n++
+		}
+	}
+	return n
+}
+
+// appendNode appends n to nodes if absent.
+func appendNode(nodes []mesh.NodeID, n mesh.NodeID) []mesh.NodeID {
+	for _, x := range nodes {
+		if x == n {
+			return nodes
+		}
+	}
+	return append(nodes, n)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"dmacp/internal/ir"
+	"dmacp/internal/mesh"
+)
+
+// Fetch is a plain data access consumed by a task: the line travels from its
+// resident node to the task's node as an ordinary cache request (no
+// synchronization). From == the task's node means a purely local access
+// (home bank, reused L1 copy, or data already at the MC node).
+type Fetch struct {
+	From mesh.NodeID
+	Line uint64
+	// L2Miss marks accesses served by a memory controller (DRAM latency).
+	L2Miss bool
+	// L1Hit marks accesses satisfied from a reused L1 copy.
+	L1Hit bool
+}
+
+// Task is one subcomputation instance placed on a node. Tasks form a DAG via
+// WaitFor (producer results the task must synchronize on).
+type Task struct {
+	ID   int
+	Node mesh.NodeID
+	// Ops is the weighted operation cost (division counted at DivWeight).
+	Ops float64
+	// Mix tallies the unweighted ops by class, for Table 3.
+	Mix map[ir.OpClass]int
+	// Fetches are the plain line accesses the task performs.
+	Fetches []Fetch
+	// WaitFor lists producer task IDs whose computed results this task
+	// synchronizes on (including inter-statement dependences). The paired
+	// WaitHops give the network distance each producer's result crosses.
+	WaitFor  []int
+	WaitHops []int
+	// IsRoot marks the final task of a statement instance (the one that
+	// stores the result at the output's home node); ResultLine is the line
+	// the root's store writes.
+	IsRoot     bool
+	ResultLine uint64
+	// Stmt and Iter identify the statement instance the task belongs to.
+	Stmt, Iter int
+	// Window is the index of the statement window the task was scheduled in.
+	Window int
+}
+
+// Schedule is the partitioner's output for one nest: the full task DAG plus
+// synchronization accounting.
+type Schedule struct {
+	Tasks []*Task
+	// SyncsBefore counts synchronization arcs before transitive reduction;
+	// SyncsAfter counts the arcs that remain (and are charged by the
+	// simulator).
+	SyncsBefore, SyncsAfter int
+	// Instances is the number of statement instances scheduled.
+	Instances int
+}
+
+// addWait records a synchronization arc from producer to consumer crossing
+// the given number of network hops.
+func (t *Task) addWait(producer int, hops int) {
+	t.WaitFor = append(t.WaitFor, producer)
+	t.WaitHops = append(t.WaitHops, hops)
+}
+
+// loadTracker implements the paper's load-balancing rule: a node is skipped
+// when assigning work would put it more than threshold above the next most
+// loaded node (Section 4.5).
+type loadTracker struct {
+	load      []float64
+	max1      float64
+	max1Node  int
+	max2      float64
+	threshold float64
+}
+
+func newLoadTracker(nodes int, threshold float64) *loadTracker {
+	return &loadTracker{load: make([]float64, nodes), max1Node: -1, threshold: threshold}
+}
+
+// wouldOverload reports whether adding cost to node n would violate the
+// threshold rule relative to the next most loaded node.
+func (lt *loadTracker) wouldOverload(n mesh.NodeID, cost float64) bool {
+	next := lt.max1
+	if int(n) == lt.max1Node {
+		next = lt.max2
+	}
+	if next <= 0 {
+		next = cost // bootstrapping: compare against the work itself
+	}
+	return lt.load[n]+cost > (1+lt.threshold)*next
+}
+
+// add charges cost to node n.
+func (lt *loadTracker) add(n mesh.NodeID, cost float64) {
+	lt.load[n] += cost
+	switch {
+	case int(n) == lt.max1Node:
+		lt.max1 = lt.load[n]
+	case lt.load[n] > lt.max1:
+		lt.max2 = lt.max1
+		lt.max1 = lt.load[n]
+		lt.max1Node = int(n)
+	case lt.load[n] > lt.max2:
+		lt.max2 = lt.load[n]
+	}
+}
+
+// Imbalance returns max/mean node load, a workload-balance diagnostic.
+func (lt *loadTracker) Imbalance() float64 {
+	var sum float64
+	for _, v := range lt.load {
+		sum += v
+	}
+	if sum == 0 {
+		return 1
+	}
+	return lt.max1 / (sum / float64(len(lt.load)))
+}
+
+// emitTasks converts one analyzed statement plan into tasks appended to the
+// schedule, applying load balancing. It returns the root task and the extra
+// data movement incurred by load-balancing hoists.
+//
+// Vertices that perform no ops are folded into their parent's fetches: their
+// lines travel as ordinary cache requests. A vertex whose node fails the
+// load-balance check is hoisted: its ops execute at the parent vertex's node
+// instead, and its lines are fetched individually across the connecting edge
+// (costing (inputs-1) * edge weight extra movement, since the partial no
+// longer collapses to one transfer).
+func (s *Schedule) emitTasks(m *mesh.Mesh, plan *StatementPlan, an *PlanAnalysis,
+	stmtIdx, iter, window int, opWeight float64, mix map[ir.OpClass]int, totalOps int,
+	lt *loadTracker) (*Task, int) {
+
+	taskOf := make([]*Task, len(plan.Vertices))
+	extraMovement := 0
+
+	mixShare := func(ops int) map[ir.OpClass]int {
+		if totalOps == 0 || ops == 0 {
+			return nil
+		}
+		out := make(map[ir.OpClass]int, len(mix))
+		for c, n := range mix {
+			if share := n * ops / totalOps; share > 0 {
+				out[c] = share
+			}
+		}
+		return out
+	}
+
+	for _, v := range an.PostOrder {
+		ops := an.OpsAt[v]
+		isRoot := v == plan.Root
+		if ops == 0 && !isRoot {
+			continue // pure data vertex: parent fetches its lines directly
+		}
+		node := plan.Vertices[v].Node
+		cost := float64(ops) * opWeight
+		if !isRoot && cost > 0 && lt.wouldOverload(node, cost) {
+			parent := an.Parent[v]
+			pnode := plan.Vertices[parent].Node
+			if pnode != node && !lt.wouldOverload(pnode, cost) {
+				node = pnode
+				inputs := len(plan.Vertices[v].Lines) + len(an.Children[v])
+				if inputs > 1 {
+					extraMovement += (inputs - 1) * an.EdgeUp[v]
+				}
+			}
+		}
+		t := &Task{
+			ID:     len(s.Tasks),
+			Node:   node,
+			Ops:    cost,
+			Mix:    mixShare(ops),
+			IsRoot: isRoot,
+			Stmt:   stmtIdx,
+			Iter:   iter,
+			Window: window,
+		}
+		t.Fetches = append(t.Fetches, vertexFetches(plan, v)...)
+		for _, c := range an.Children[v] {
+			if ct := taskOf[c]; ct != nil {
+				t.addWait(ct.ID, m.Distance(ct.Node, node))
+				s.SyncsBefore++
+				continue
+			}
+			t.Fetches = append(t.Fetches, vertexFetches(plan, c)...)
+		}
+		lt.add(node, cost)
+		s.Tasks = append(s.Tasks, t)
+		taskOf[v] = t
+	}
+	return taskOf[plan.Root], extraMovement
+}
+
+// vertexFetches lists the line accesses a vertex contributes: one per
+// resident line, flagged with its service level.
+func vertexFetches(plan *StatementPlan, v int) []Fetch {
+	pv := plan.Vertices[v]
+	out := make([]Fetch, 0, len(pv.Lines))
+	for _, line := range pv.Lines {
+		out = append(out, Fetch{
+			From:   pv.Node,
+			Line:   line,
+			L2Miss: containsLine(pv.MissLines, line),
+			L1Hit:  containsLine(pv.ReusedLines, line),
+		})
+	}
+	return out
+}
+
+func containsLine(lines []uint64, line uint64) bool {
+	for _, l := range lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}

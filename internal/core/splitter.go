@@ -1,0 +1,302 @@
+package core
+
+import (
+	"sort"
+
+	"dmacp/internal/ir"
+	"dmacp/internal/mesh"
+)
+
+// operandInfo is the located form of one input reference: where the compiler
+// believes the line lives (home bank or MC) plus any nodes whose L1 holds a
+// copy because an earlier subcomputation in the same window fetched it (the
+// variable2node map of Algorithm 1).
+type operandInfo struct {
+	loc        LineLoc
+	reuseNodes []mesh.NodeID
+}
+
+// candidates returns the candidate nodes of the operand: the reuse copies
+// first (L1 hits, preferred at equal distance), then the primary location.
+func (o operandInfo) candidates() []mesh.NodeID {
+	out := make([]mesh.NodeID, 0, len(o.reuseNodes)+1)
+	out = append(out, o.reuseNodes...)
+	out = append(out, o.loc.Node())
+	return out
+}
+
+// PlanVertex is a site in a statement's gather tree: a mesh node where one
+// or more input lines are resident and (usually) a partial combine executes.
+type PlanVertex struct {
+	// Node is the mesh node of the vertex.
+	Node mesh.NodeID
+	// Lines are the input lines resident at this vertex (home bank, MC, or
+	// reused L1 copy), gathered locally at zero network cost.
+	Lines []uint64
+	// ReusedLines is the subset of Lines satisfied from an L1 copy left by
+	// an earlier subcomputation in the window.
+	ReusedLines []uint64
+	// MissLines is the subset of Lines that actually miss in the L2 and are
+	// served from DRAM (the compiler's *prediction* decides placement — the
+	// From node — but the service cost follows the modeled ground truth).
+	MissLines []uint64
+	// IsStore marks the vertex holding the statement's output home.
+	IsStore bool
+}
+
+// PlanEdge is a tree edge between two vertices; Weight is the Manhattan
+// distance its single partial-result transfer traverses.
+type PlanEdge struct {
+	From, To int
+	Weight   int
+}
+
+// StatementPlan is the result of single-statement splitting: the spanning
+// tree over the nodes holding the statement's data, rooted at the store
+// vertex.
+type StatementPlan struct {
+	Vertices []PlanVertex
+	Edges    []PlanEdge
+	// Root is the index of the store vertex.
+	Root int
+	// Movement is the statement's optimized data movement: the sum of tree
+	// edge weights (Equation 1 with unit line size).
+	Movement int
+	// ReuseHits counts operands satisfied from a reused L1 copy.
+	ReuseHits int
+}
+
+// planItem is a component during level-based MST construction: either a
+// single unpinned leaf operand (candidate node set), or a pinned set of
+// concrete vertices (a completed inner group, or already-pinned leaves).
+type planItem struct {
+	pinned     bool
+	candidates []mesh.NodeID // unpinned leaf: where the operand may be taken from
+	vidx       int           // unpinned leaf: vertex index reserved for it
+	reusable   map[mesh.NodeID]bool
+	members    []int // pinned: vertex indices of the component
+}
+
+type planBuilder struct {
+	m        *mesh.Mesh
+	vertices []PlanVertex
+	edges    []PlanEdge
+	reuse    int
+}
+
+// buildPlan performs single-statement splitting (Algorithm 1, lines 1-32):
+// level-based Kruskal over the nested variable sets, innermost first, with
+// completed sets treated as single components, and the store location joined
+// at the outermost level.
+func buildPlan(m *mesh.Mesh, set *ir.SetNode, ops func(*ir.Ref) operandInfo, store LineLoc) *StatementPlan {
+	b := &planBuilder{m: m}
+
+	// The store node participates in the outermost MST as a regular vertex
+	// (Figure 4 includes the A(i) vertex), so collect the top-level items and
+	// run the outermost Kruskal over operands and store together.
+	items := b.collectItems(set, ops)
+	storeIdx := len(b.vertices)
+	b.vertices = append(b.vertices, PlanVertex{Node: store.Home, IsStore: true})
+	items = append(items, &planItem{pinned: true, members: []int{storeIdx}})
+	b.mstOver(items)
+
+	movement := 0
+	for _, e := range b.edges {
+		movement += e.Weight
+	}
+	return &StatementPlan{
+		Vertices:  b.vertices,
+		Edges:     b.edges,
+		Root:      storeIdx,
+		Movement:  movement,
+		ReuseHits: b.reuse,
+	}
+}
+
+// collectItems turns the elements of one nested set into MST items:
+// leaves become candidate-set items (deduplicated by line), inner groups are
+// recursively collapsed into single pinned components (innermost-first order
+// of Algorithm 1).
+func (b *planBuilder) collectItems(group *ir.SetNode, ops func(*ir.Ref) operandInfo) []*planItem {
+	var items []*planItem
+	seenLine := make(map[uint64]bool) // lines already an operand at this level
+	for _, el := range group.Group {
+		if el.IsLeaf() {
+			info := ops(el.Ref)
+			if seenLine[info.loc.Line] {
+				continue // one copy of the line suffices
+			}
+			seenLine[info.loc.Line] = true
+			vidx := len(b.vertices)
+			b.vertices = append(b.vertices, PlanVertex{Node: mesh.InvalidNode})
+			it := &planItem{
+				candidates: info.candidates(),
+				vidx:       vidx,
+				reusable:   make(map[mesh.NodeID]bool, len(info.reuseNodes)),
+			}
+			for _, n := range info.reuseNodes {
+				it.reusable[n] = true
+			}
+			b.setLine(vidx, info)
+			items = append(items, it)
+		} else {
+			items = append(items, b.processGroup(el, ops))
+		}
+	}
+	return items
+}
+
+// processGroup collapses one nested set into a single pinned component by
+// building its internal MST.
+func (b *planBuilder) processGroup(group *ir.SetNode, ops func(*ir.Ref) operandInfo) *planItem {
+	items := b.collectItems(group, ops)
+	if len(items) == 0 {
+		// A group of literals only; represent as an empty pinned component
+		// anchored nowhere — mstOver skips empty components.
+		return &planItem{pinned: true}
+	}
+	return b.mstOver(items)
+}
+
+// setLine records the operand's line on its vertex; reuse/miss accounting is
+// finalized when the vertex is pinned.
+func (b *planBuilder) setLine(vidx int, info operandInfo) {
+	v := &b.vertices[vidx]
+	v.Lines = append(v.Lines, info.loc.Line)
+	if !info.loc.ActualHit {
+		v.MissLines = append(v.MissLines, info.loc.Line)
+	}
+}
+
+// pin fixes an unpinned leaf item at node n, turning it into a concrete
+// single-vertex component.
+func (b *planBuilder) pin(it *planItem, n mesh.NodeID) {
+	if it.pinned {
+		return
+	}
+	b.vertices[it.vidx].Node = n
+	if it.reusable[n] {
+		v := &b.vertices[it.vidx]
+		v.ReusedLines = append(v.ReusedLines, v.Lines...)
+		// A reused copy sits in an L1; it is no longer an MC fetch.
+		v.MissLines = nil
+		b.reuse += len(v.Lines)
+	}
+	it.pinned = true
+	it.members = []int{it.vidx}
+	it.candidates = nil
+	it.reusable = nil
+}
+
+// itemNodes returns the nodes an item currently offers for connection.
+func (b *planBuilder) itemNodes(it *planItem) []mesh.NodeID {
+	if !it.pinned {
+		return it.candidates
+	}
+	nodes := make([]mesh.NodeID, len(it.members))
+	for i, vi := range it.members {
+		nodes[i] = b.vertices[vi].Node
+	}
+	return nodes
+}
+
+// vertexAt returns the index of the member vertex of a pinned item located
+// at node n (the attachment point an edge realized).
+func (b *planBuilder) vertexAt(it *planItem, n mesh.NodeID) int {
+	for _, vi := range it.members {
+		if b.vertices[vi].Node == n {
+			return vi
+		}
+	}
+	return it.members[0]
+}
+
+// mstOver runs the MST construction over the items of one level: repeatedly
+// connect the two components with the minimum realizable distance (Kruskal
+// on the component graph, with candidate-set vertices pinned as edges commit
+// to them). Returns the merged component.
+func (b *planBuilder) mstOver(items []*planItem) *planItem {
+	// Drop empty components (literal-only groups).
+	live := items[:0]
+	for _, it := range items {
+		if !it.pinned || len(it.members) > 0 {
+			live = append(live, it)
+		}
+	}
+	items = live
+	if len(items) == 0 {
+		return &planItem{pinned: true}
+	}
+	if len(items) == 1 {
+		b.pinDefault(items[0])
+		return items[0]
+	}
+
+	comp := make([]int, len(items)) // item index -> component id
+	for i := range comp {
+		comp[i] = i
+	}
+	remaining := len(items)
+	for remaining > 1 {
+		bi, bj := -1, -1
+		var bn1, bn2 mesh.NodeID
+		best := 1 << 30
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				if comp[i] == comp[j] {
+					continue
+				}
+				n1, n2, d := b.closestPair(items[i], items[j])
+				if d < best {
+					best, bi, bj, bn1, bn2 = d, i, j, n1, n2
+				}
+			}
+		}
+		// Commit: pin endpoints and add the concrete edge.
+		b.pin(items[bi], bn1)
+		b.pin(items[bj], bn2)
+		v1 := b.vertexAt(items[bi], bn1)
+		v2 := b.vertexAt(items[bj], bn2)
+		b.edges = append(b.edges, PlanEdge{From: v1, To: v2, Weight: best})
+		// Merge components.
+		from, to := comp[bj], comp[bi]
+		for k := range comp {
+			if comp[k] == from {
+				comp[k] = to
+			}
+		}
+		remaining--
+	}
+	// Collapse all items into one pinned component.
+	merged := &planItem{pinned: true}
+	for _, it := range items {
+		b.pinDefault(it)
+		merged.members = append(merged.members, it.members...)
+	}
+	sort.Ints(merged.members)
+	return merged
+}
+
+// pinDefault pins a still-unpinned leaf to its primary location (no edge
+// ever constrained it — e.g. a single-operand statement).
+func (b *planBuilder) pinDefault(it *planItem) {
+	if !it.pinned {
+		b.pin(it, it.candidates[len(it.candidates)-1]) // primary location is last
+	}
+}
+
+// closestPair returns the node pair (one from each item) with minimum
+// Manhattan distance, breaking ties deterministically by (node1, node2).
+func (b *planBuilder) closestPair(a, c *planItem) (mesh.NodeID, mesh.NodeID, int) {
+	var bn1, bn2 mesh.NodeID
+	best := 1 << 30
+	for _, n1 := range b.itemNodes(a) {
+		for _, n2 := range b.itemNodes(c) {
+			d := b.m.Distance(n1, n2)
+			if d < best || (d == best && (n1 < bn1 || (n1 == bn1 && n2 < bn2))) {
+				best, bn1, bn2 = d, n1, n2
+			}
+		}
+	}
+	return bn1, bn2, best
+}

@@ -1,0 +1,72 @@
+package core
+
+// reduceSyncs performs the transitive-closure-based synchronization
+// minimization of Section 4.5: a synchronization arc a -> b is redundant
+// when b is already ordered after a through a chain of other arcs. Following
+// the scheme's spirit (and keeping the pass linear in the number of arcs),
+// we eliminate arcs implied by two-step chains a -> w -> b, which covers the
+// chains subcomputation scheduling actually produces (child results joined
+// at a parent that is itself awaited, and dependence arcs duplicating tree
+// paths).
+//
+// Removing an implied arc never changes the partial order of the task DAG,
+// so the simulator's execution remains correct; it only avoids charging the
+// handshake twice. The function rewrites each task's WaitFor/WaitHops in
+// place and returns the number of arcs removed.
+func reduceSyncs(tasks []*Task) int {
+	removed := 0
+	for _, t := range tasks {
+		if len(t.WaitFor) < 2 {
+			continue
+		}
+		// Producers reachable in exactly two steps through another producer.
+		implied := make(map[int]bool)
+		for _, p := range t.WaitFor {
+			for _, pp := range tasks[p].WaitFor {
+				implied[pp] = true
+			}
+		}
+		if len(implied) == 0 {
+			continue
+		}
+		keepIDs := t.WaitFor[:0]
+		keepHops := t.WaitHops[:0]
+		for i, p := range t.WaitFor {
+			if implied[p] {
+				removed++
+				continue
+			}
+			keepIDs = append(keepIDs, p)
+			keepHops = append(keepHops, t.WaitHops[i])
+		}
+		t.WaitFor = keepIDs
+		t.WaitHops = keepHops
+	}
+	return removed
+}
+
+// dedupeWaits drops duplicate producer arcs on each task (the same producer
+// registered through both a tree edge and a dependence), keeping the first.
+func dedupeWaits(tasks []*Task) int {
+	removed := 0
+	for _, t := range tasks {
+		if len(t.WaitFor) < 2 {
+			continue
+		}
+		seen := make(map[int]bool, len(t.WaitFor))
+		keepIDs := t.WaitFor[:0]
+		keepHops := t.WaitHops[:0]
+		for i, p := range t.WaitFor {
+			if seen[p] {
+				removed++
+				continue
+			}
+			seen[p] = true
+			keepIDs = append(keepIDs, p)
+			keepHops = append(keepHops, t.WaitHops[i])
+		}
+		t.WaitFor = keepIDs
+		t.WaitHops = keepHops
+	}
+	return removed
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"dmacp/internal/mesh"
+)
+
+// ValidateSchedule checks the structural invariants every emitted schedule
+// must satisfy; tests and debugging call it after Partition or
+// baseline.Place. It returns the first violation found:
+//
+//   - task IDs are dense and ascending (the simulator relies on topological
+//     order);
+//   - every WaitFor arc points at an earlier task and carries a matching
+//     WaitHops entry equal to the mesh distance between producer and
+//     consumer;
+//   - every task sits on a valid mesh node;
+//   - every statement instance has exactly one root task, and instance
+//     (Iter, Stmt) pairs appear in execution order.
+func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
+	if s == nil {
+		return fmt.Errorf("core: nil schedule")
+	}
+	type instKey struct{ iter, stmt int }
+	roots := make(map[instKey]int)
+	lastInst := -1
+	for i, t := range s.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("core: task %d has ID %d (want dense ascending)", i, t.ID)
+		}
+		if t.Node < 0 || int(t.Node) >= m.Nodes() {
+			return fmt.Errorf("core: task %d on invalid node %d", i, t.Node)
+		}
+		if len(t.WaitFor) != len(t.WaitHops) {
+			return fmt.Errorf("core: task %d WaitFor/WaitHops mismatch (%d vs %d)",
+				i, len(t.WaitFor), len(t.WaitHops))
+		}
+		for j, p := range t.WaitFor {
+			if p < 0 || p >= t.ID {
+				return fmt.Errorf("core: task %d waits on non-earlier task %d", i, p)
+			}
+			if want := m.Distance(s.Tasks[p].Node, t.Node); t.WaitHops[j] != want {
+				return fmt.Errorf("core: task %d arc from %d has hops %d, want %d",
+					i, p, t.WaitHops[j], want)
+			}
+		}
+		if t.Ops < 0 {
+			return fmt.Errorf("core: task %d has negative ops", i)
+		}
+		if t.IsRoot {
+			k := instKey{t.Iter, t.Stmt}
+			if prev, dup := roots[k]; dup {
+				return fmt.Errorf("core: instance (iter %d, stmt %d) has two roots: %d and %d",
+					t.Iter, t.Stmt, prev, i)
+			}
+			roots[k] = i
+		}
+		// Instances appear in execution order (non-decreasing).
+		if inst := t.Iter*1_000_000 + t.Stmt; inst < lastInst {
+			return fmt.Errorf("core: task %d out of instance order", i)
+		} else {
+			lastInst = inst
+		}
+	}
+	if s.Instances > 0 && len(roots) != s.Instances {
+		return fmt.Errorf("core: %d roots for %d instances", len(roots), s.Instances)
+	}
+	if s.SyncsAfter > s.SyncsBefore || s.SyncsAfter < 0 {
+		return fmt.Errorf("core: sync counts inconsistent: before %d, after %d",
+			s.SyncsBefore, s.SyncsAfter)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"dmacp/internal/core"
+	"dmacp/internal/sim"
+	"dmacp/internal/stats"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, each measured
+// as the geomean slowdown of disabling it relative to the full approach:
+//
+//   - reuse-aware windows (Section 6.3 reports the reuse-agnostic variant
+//     ~11% worse);
+//   - load balancing (the 10% slack rule of Section 4.5);
+//   - adaptive window sizing versus pinning the largest window for every
+//     nest (window 1 without reuse coincides with the NoReuse variant, so
+//     the fixed-window probe uses the other extreme).
+//
+// A value above 1.0 means the full approach is faster than the ablated one.
+func (r *Runner) Ablations() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "ablations",
+		Title:      "Ablations: cost of disabling each design choice (slowdown factor vs full approach)",
+		PaperClaim: "reuse-agnostic ~11% worse (Sec 6.3); adaptive window >= best fixed (Fig 20); load balancing prevents hot nodes",
+		Table:      &stats.Table{Header: []string{"App", "NoReuse", "NoLoadBalance", "FixedWindow8"}},
+		Headline:   map[string]float64{},
+	}
+	cfg := r.simConfig()
+	variant := func(ar *AppRun, mod func(*core.Options)) (float64, error) {
+		opts := r.Opts
+		mod(&opts)
+		var cycles float64
+		for _, n := range ar.Nests {
+			res, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
+			if err != nil {
+				return 0, err
+			}
+			sr, err := sim.Run(res.Schedule, cfg)
+			if err != nil {
+				return 0, err
+			}
+			cycles += sr.Cycles
+		}
+		return cycles, nil
+	}
+
+	var full, noReuse, noLB, fixed1 []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		nr, err := variant(ar, func(o *core.Options) { o.ReuseAware = false })
+		if err != nil {
+			return nil, err
+		}
+		nl, err := variant(ar, func(o *core.Options) { o.LoadThreshold = 1e9 })
+		if err != nil {
+			return nil, err
+		}
+		f1, err := variant(ar, func(o *core.Options) { o.FixedWindow = 8 })
+		if err != nil {
+			return nil, err
+		}
+		e.Table.Add(name, nr/ar.SimOpt.Cycles, nl/ar.SimOpt.Cycles, f1/ar.SimOpt.Cycles)
+		full = append(full, ar.SimOpt.Cycles)
+		noReuse = append(noReuse, nr)
+		noLB = append(noLB, nl)
+		fixed1 = append(fixed1, f1)
+	}
+	e.Headline["no_reuse_slowdown"] = 1 / (1 - stats.GeomeanReduction(noReuse, full))
+	e.Headline["no_loadbalance_slowdown"] = 1 / (1 - stats.GeomeanReduction(noLB, full))
+	e.Headline["fixed_window8_slowdown"] = 1 / (1 - stats.GeomeanReduction(fixed1, full))
+	return e, nil
+}

@@ -1,0 +1,646 @@
+package exp
+
+import (
+	"fmt"
+
+	"dmacp/internal/baseline"
+	"dmacp/internal/core"
+	"dmacp/internal/ir"
+	"dmacp/internal/mesh"
+	"dmacp/internal/sim"
+	"dmacp/internal/stats"
+	"dmacp/internal/workloads"
+)
+
+// Experiment couples a rendered table with the headline number(s) an
+// experiment produces, so callers can both print and assert.
+type Experiment struct {
+	ID    string
+	Title string
+	// PaperClaim describes what the paper reports for this experiment.
+	PaperClaim string
+	Table      *stats.Table
+	// Headline is the experiment's summary figure (usually a geomean),
+	// keyed by series name.
+	Headline map[string]float64
+}
+
+// Names returns the app list used by all experiments.
+func appNames() []string { return workloads.Names() }
+
+// Table1 reproduces Table 1: the fraction of compile-time-analyzable data
+// references per application.
+func (r *Runner) Table1() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "table1",
+		Title:      "Table 1: fraction of compile-time analyzable data references",
+		PaperClaim: "63%-97% across apps; tree codes (Barnes, FMM) lowest, Cholesky highest",
+		Table:      &stats.Table{Header: []string{"App", "Analyzable"}},
+		Headline:   map[string]float64{},
+	}
+	var vals []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		// Instance-weighted mean across nests.
+		var frac, weight float64
+		for _, n := range ar.Nests {
+			w := float64(n.Opt.Stats.Instances)
+			frac += n.Opt.AnalyzableFraction * w
+			weight += w
+		}
+		if weight > 0 {
+			frac /= weight
+		}
+		e.Table.Add(name, stats.Pct(frac))
+		vals = append(vals, frac)
+	}
+	e.Headline["mean"] = stats.Mean(vals)
+	return e, nil
+}
+
+// Table2 reproduces Table 2: cache hit/miss predictor accuracy.
+func (r *Runner) Table2() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "table2",
+		Title:      "Table 2: cache hit/miss predictor accuracy",
+		PaperClaim: "63%-92% across apps",
+		Table:      &stats.Table{Header: []string{"App", "Accuracy"}},
+		Headline:   map[string]float64{},
+	}
+	var vals []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		var acc, weight float64
+		for _, n := range ar.Nests {
+			w := float64(n.Opt.Stats.Instances)
+			acc += n.Opt.PredictorAccuracy * w
+			weight += w
+		}
+		if weight > 0 {
+			acc /= weight
+		}
+		e.Table.Add(name, stats.Pct(acc))
+		vals = append(vals, acc)
+	}
+	e.Headline["mean"] = stats.Mean(vals)
+	return e, nil
+}
+
+// Table3 reproduces Table 3: the operator mix of re-mapped (offloaded)
+// subcomputations.
+func (r *Runner) Table3() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "table3",
+		Title:      "Table 3: computation types offloaded (re-mapped subcomputations)",
+		PaperClaim: "add/sub 33-58%, mul/div 26-52%, others 6-22% depending on app",
+		Table:      &stats.Table{Header: []string{"App", "add/sub", "mul/div", "others"}},
+		Headline:   map[string]float64{},
+	}
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		mix := map[ir.OpClass]int{}
+		total := 0
+		for _, n := range ar.Nests {
+			for c, k := range n.Opt.OffloadMix {
+				mix[c] += k
+				total += k
+			}
+		}
+		if total == 0 {
+			total = 1
+		}
+		e.Table.Add(name,
+			stats.Pct(float64(mix[ir.ClassAddSub])/float64(total)),
+			stats.Pct(float64(mix[ir.ClassMulDiv])/float64(total)),
+			stats.Pct(float64(mix[ir.ClassOther])/float64(total)))
+	}
+	return e, nil
+}
+
+// Fig13 reproduces Figure 13: per-statement average and maximum data
+// movement reduction over the default placement.
+func (r *Runner) Fig13() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig13",
+		Title:      "Figure 13: data movement reduction over default placement",
+		PaperClaim: "geomean of average reduction ~35.3%; Barnes/Ocean/MiniMD high, Cholesky/LU low",
+		Table:      &stats.Table{Header: []string{"App", "AvgReduction", "MaxStmtDefault", "MaxStmtOpt"}},
+		Headline:   map[string]float64{},
+	}
+	var avgRed []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		red := stats.Reduction(float64(ar.DefMovement()), float64(ar.OptMovement()))
+		var defMax, optMax int
+		for _, n := range ar.Nests {
+			if n.Def.MaxMovement > defMax {
+				defMax = n.Def.MaxMovement
+			}
+			if n.Opt.Stats.MaxMovement > optMax {
+				optMax = n.Opt.Stats.MaxMovement
+			}
+		}
+		e.Table.Add(name, stats.Pct(red), defMax, optMax)
+		avgRed = append(avgRed, red)
+	}
+	e.Headline["geomean_avg_reduction"] = stats.Geomean(avgRed)
+	return e, nil
+}
+
+// Fig14 reproduces Figure 14: degree of subcomputation parallelism.
+func (r *Runner) Fig14() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig14",
+		Title:      "Figure 14: degree of parallelism per statement",
+		PaperClaim: "average ~3 across apps; Ocean and Barnes highest (long statements)",
+		Table:      &stats.Table{Header: []string{"App", "AvgParallelism", "MaxParallelism"}},
+		Headline:   map[string]float64{},
+	}
+	var avgs []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		var avg, weight float64
+		maxPar := 0
+		for _, n := range ar.Nests {
+			w := float64(n.Opt.Stats.Instances)
+			avg += n.Opt.Stats.AvgParallelism * w
+			weight += w
+			if n.Opt.Stats.MaxParallelism > maxPar {
+				maxPar = n.Opt.Stats.MaxParallelism
+			}
+		}
+		if weight > 0 {
+			avg /= weight
+		}
+		e.Table.Add(name, avg, maxPar)
+		avgs = append(avgs, avg)
+	}
+	e.Headline["mean_parallelism"] = stats.Mean(avgs)
+	return e, nil
+}
+
+// Fig15 reproduces Figure 15: synchronizations per statement after
+// transitive-closure minimization.
+func (r *Runner) Fig15() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig15",
+		Title:      "Figure 15: synchronizations per statement",
+		PaperClaim: "higher parallelism implies more syncs; large fraction removed by transitive reduction",
+		Table:      &stats.Table{Header: []string{"App", "Before", "After", "Removed"}},
+		Headline:   map[string]float64{},
+	}
+	var after []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		var b, a float64
+		inst := 0
+		for _, n := range ar.Nests {
+			b += float64(n.Opt.Schedule.SyncsBefore)
+			a += float64(n.Opt.Schedule.SyncsAfter)
+			inst += n.Opt.Stats.Instances
+		}
+		bi, ai := b/float64(inst), a/float64(inst)
+		e.Table.Add(name, bi, ai, stats.Pct(stats.Reduction(b, a)))
+		after = append(after, ai)
+	}
+	e.Headline["mean_syncs_per_stmt"] = stats.Mean(after)
+	return e, nil
+}
+
+// Fig16 reproduces Figure 16: L1 hit rate improvement over the default.
+func (r *Runner) Fig16() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig16",
+		Title:      "Figure 16: improvement in L1 hit rate",
+		PaperClaim: "average improvement ~11.6%",
+		Table:      &stats.Table{Header: []string{"App", "DefaultL1", "OptimizedL1", "Improvement"}},
+		Headline:   map[string]float64{},
+	}
+	var imps []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		d, o := ar.SimDef.L1HitRate(), ar.SimOpt.L1HitRate()
+		imp := 0.0
+		if d > 0 {
+			imp = (o - d) / d
+		}
+		e.Table.Add(name, stats.Pct(d), stats.Pct(o), stats.Pct(imp))
+		imps = append(imps, imp)
+	}
+	e.Headline["mean_improvement"] = stats.Mean(imps)
+	return e, nil
+}
+
+// Fig17 reproduces Figure 17: execution time reduction of the approach and
+// the two ideal scenarios.
+func (r *Runner) Fig17() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig17",
+		Title:      "Figure 17: execution time reduction",
+		PaperClaim: "ours ~18.4%, ideal network ~24.4%, ideal data analysis ~22.3% (geomeans)",
+		Table:      &stats.Table{Header: []string{"App", "Ours", "IdealNetwork", "IdealAnalysis"}},
+		Headline:   map[string]float64{},
+	}
+	var defC, optC, inetC, ianalC []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		e.Table.Add(name,
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)),
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, ar.SimDefIdealNet.Cycles)),
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, ar.SimOptIdeal.Cycles)))
+		defC = append(defC, ar.SimDef.Cycles)
+		optC = append(optC, ar.SimOpt.Cycles)
+		inetC = append(inetC, ar.SimDefIdealNet.Cycles)
+		ianalC = append(ianalC, ar.SimOptIdeal.Cycles)
+	}
+	e.Headline["ours"] = stats.GeomeanReduction(defC, optC)
+	e.Headline["ideal_network"] = stats.GeomeanReduction(defC, inetC)
+	e.Headline["ideal_analysis"] = stats.GeomeanReduction(defC, ianalC)
+	return e, nil
+}
+
+// Fig18 reproduces Figure 18: the contribution of each metric, isolated by
+// enforcing one optimized metric at a time on the default execution
+// (schemes S1-S4), normalized to the default execution (higher is better).
+func (r *Runner) Fig18() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig18",
+		Title:      "Figure 18: metric isolation (S1 L1-only, S2 movement-only, S3 parallelism-only, S4 sync-only)",
+		PaperClaim: "movement reduction is the biggest contributor (~15.2% alone), then parallelism; S4 is a slowdown",
+		Table:      &stats.Table{Header: []string{"App", "S1-L1", "S2-Movement", "S3-Parallel", "S4-Syncs", "Full"}},
+		Headline:   map[string]float64{},
+	}
+	var s2s, fulls []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.simConfig()
+		norm := func(c sim.Config) (float64, error) {
+			var cycles float64
+			for _, n := range ar.Nests {
+				sr, err := sim.Run(n.Def.Schedule, c)
+				if err != nil {
+					return 0, err
+				}
+				cycles += sr.Cycles
+			}
+			return ar.SimDef.Cycles / cycles, nil
+		}
+		// S1: enforce the optimized L1 hit rate.
+		c1 := cfg
+		rate := ar.SimOpt.L1HitRate()
+		c1.ForcedL1HitRate = &rate
+		s1, err := norm(c1)
+		if err != nil {
+			return nil, err
+		}
+		// S2: enforce the optimized data movement (hop ratio).
+		c2 := cfg
+		if d := ar.DefMovement(); d > 0 {
+			c2.HopScale = float64(ar.OptMovement()) / float64(d)
+		}
+		s2, err := norm(c2)
+		if err != nil {
+			return nil, err
+		}
+		// S3: enforce the optimized degree of parallelism.
+		c3 := cfg
+		var par, w float64
+		for _, n := range ar.Nests {
+			par += n.Opt.Stats.AvgParallelism * float64(n.Opt.Stats.Instances)
+			w += float64(n.Opt.Stats.Instances)
+		}
+		if w > 0 && par > 0 {
+			c3.ComputeScale = par / w
+		}
+		s3, err := norm(c3)
+		if err != nil {
+			return nil, err
+		}
+		// S4: charge the optimized synchronization overhead.
+		c4 := cfg
+		var syncs float64
+		for _, n := range ar.Nests {
+			syncs += float64(n.Opt.Schedule.SyncsAfter)
+		}
+		if w > 0 {
+			c4.ExtraSyncArcsPerTask = syncs / w
+		}
+		s4, err := norm(c4)
+		if err != nil {
+			return nil, err
+		}
+		full := ar.SimDef.Cycles / ar.SimOpt.Cycles
+		e.Table.Add(name, s1, s2, s3, s4, full)
+		s2s = append(s2s, s2)
+		fulls = append(fulls, full)
+	}
+	e.Headline["movement_only_speedup"] = stats.Geomean(s2s)
+	e.Headline["full_speedup"] = stats.Geomean(fulls)
+	return e, nil
+}
+
+// Fig19 reproduces Figure 19: reduction in average and maximum on-chip
+// network latency.
+func (r *Runner) Fig19() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig19",
+		Title:      "Figure 19: network latency reduction",
+		PaperClaim: "both average and maximum latency drop for every app (no added congestion)",
+		Table:      &stats.Table{Header: []string{"App", "AvgLatReduction", "MaxLatReduction"}},
+		Headline:   map[string]float64{},
+	}
+	var avgs []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		ra := stats.Reduction(ar.SimDef.AvgNetLat, ar.SimOpt.AvgNetLat)
+		rm := stats.Reduction(ar.SimDef.MaxNetLat, ar.SimOpt.MaxNetLat)
+		e.Table.Add(name, stats.Pct(ra), stats.Pct(rm))
+		avgs = append(avgs, ra)
+	}
+	e.Headline["mean_avg_latency_reduction"] = stats.Mean(avgs)
+	return e, nil
+}
+
+// Fig20 reproduces Figure 20: execution time improvement under fixed window
+// sizes 1-8 versus the adaptive per-nest choice.
+func (r *Runner) Fig20() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig20",
+		Title:      "Figure 20: fixed window sizes 1-8 vs adaptive",
+		PaperClaim: "improvement rises then falls with window size; adaptive >= best fixed",
+		Table:      &stats.Table{Header: []string{"App", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "adaptive"}},
+		Headline:   map[string]float64{},
+	}
+	var adaptives []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.simConfig()
+		row := make([]any, 0, 10)
+		row = append(row, name)
+		for w := 1; w <= 8; w++ {
+			opts := r.Opts
+			opts.FixedWindow = w
+			var cycles float64
+			for _, n := range ar.Nests {
+				opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
+				if err != nil {
+					return nil, err
+				}
+				sr, err := sim.Run(opt.Schedule, cfg)
+				if err != nil {
+					return nil, err
+				}
+				cycles += sr.Cycles
+			}
+			row = append(row, stats.Pct(stats.Reduction(ar.SimDef.Cycles, cycles)))
+		}
+		adaptive := stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)
+		row = append(row, stats.Pct(adaptive))
+		e.Table.Add(row...)
+		adaptives = append(adaptives, adaptive)
+	}
+	e.Headline["adaptive_geomean"] = stats.Geomean(adaptives)
+	return e, nil
+}
+
+// Fig21 reproduces Figure 21: model-L1 hit rates as the window size varies
+// (the pollution effect).
+func (r *Runner) Fig21() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig21",
+		Title:      "Figure 21: L1 hit rate vs window size",
+		PaperClaim: "hit rate rises with window size, then falls once pollution sets in",
+		Table:      &stats.Table{Header: []string{"App", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"}},
+		Headline:   map[string]float64{},
+	}
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for w := 1; w <= 8; w++ {
+			var rate, weight float64
+			for _, n := range ar.Nests {
+				rate += n.Opt.L1HitBySize[w] * float64(n.Opt.Stats.Instances)
+				weight += float64(n.Opt.Stats.Instances)
+			}
+			if weight > 0 {
+				rate /= weight
+			}
+			row = append(row, stats.Pct(rate))
+		}
+		e.Table.Add(row...)
+	}
+	return e, nil
+}
+
+// Fig22 reproduces Figure 22: all (cluster mode, memory mode) combinations
+// with original and optimized code, normalized to (quadrant, flat, original).
+func (r *Runner) Fig22() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig22",
+		Title:      "Figure 22: cluster/memory mode configurations (normalized speedup vs B,X,1)",
+		PaperClaim: "optimized wins everywhere; (SNC-4, flat, opt) best ~25%; (A,X,2) beats (C,X,1)",
+		Table:      &stats.Table{Header: []string{"Config", "GeomeanSpeedup"}},
+		Headline:   map[string]float64{},
+	}
+	clusterModes := []struct {
+		label string
+		mode  mesh.ClusterMode
+	}{{"A", mesh.AllToAll}, {"B", mesh.Quadrant}, {"C", mesh.SNC4}}
+	memModes := []struct {
+		label string
+		mode  sim.MemMode
+	}{{"X", sim.Flat}, {"Y", sim.CacheMode}, {"Z", sim.Hybrid}}
+
+	// Baseline cycles per app: (B, X, 1).
+	baseCycles := map[string]float64{}
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		baseCycles[name] = ar.SimDef.Cycles
+	}
+	for _, cm := range clusterModes {
+		for _, mm := range memModes {
+			for _, optimized := range []bool{false, true} {
+				var speedups []float64
+				for _, name := range appNames() {
+					cycles, err := r.configCycles(name, cm.mode, mm.mode, optimized)
+					if err != nil {
+						return nil, err
+					}
+					speedups = append(speedups, baseCycles[name]/cycles)
+				}
+				v := stats.Geomean(speedups)
+				label := fmt.Sprintf("(%s,%s,%d)", cm.label, mm.label, boolTo12(optimized))
+				e.Table.Add(label, v)
+				e.Headline[label] = v
+			}
+		}
+	}
+	return e, nil
+}
+
+func boolTo12(opt bool) int {
+	if opt {
+		return 2
+	}
+	return 1
+}
+
+// configCycles runs one application under a specific (cluster mode, memory
+// mode, original/optimized) configuration and returns total cycles.
+func (r *Runner) configCycles(name string, cluster mesh.ClusterMode, mm sim.MemMode, optimized bool) (float64, error) {
+	ar, err := r.Base(name)
+	if err != nil {
+		return 0, err
+	}
+	opts := r.Opts
+	opts.Mode = cluster
+	cfg := r.simConfig()
+	cfg.MemMode = mm
+	var cycles float64
+	for _, n := range ar.Nests {
+		var sched *core.Schedule
+		if optimized {
+			opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
+			if err != nil {
+				return 0, err
+			}
+			sched = opt.Schedule
+		} else {
+			def, err := baseline.Place(ar.App.Prog, n.Nest, ar.App.Store, opts, baseline.ProfiledLocality)
+			if err != nil {
+				return 0, err
+			}
+			sched = def.Schedule
+		}
+		sr, err := sim.Run(sched, cfg)
+		if err != nil {
+			return 0, err
+		}
+		cycles += sr.Cycles
+	}
+	return cycles, nil
+}
+
+// Fig23 reproduces Figure 23: ours vs profile-based data-to-MC mapping vs
+// the combined scheme.
+func (r *Runner) Fig23() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig23",
+		Title:      "Figure 23: computation mapping vs data-to-MC mapping vs combined",
+		PaperClaim: "ours ~18.4%, data mapping ~7.9%, combined ~21.4% (geomeans)",
+		Table:      &stats.Table{Header: []string{"App", "Ours", "DataMapping", "Combined"}},
+		Headline:   map[string]float64{},
+	}
+	var base, ours, datas, combs []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.simConfig()
+		var dataCycles, combCycles float64
+		for _, n := range ar.Nests {
+			mcmap, err := baseline.BuildMCMap(ar.App.Prog, n.Nest, ar.App.Store, r.Opts, n.Def)
+			if err != nil {
+				return nil, err
+			}
+			opts := r.Opts
+			opts.MCOverride = mcmap
+			def, err := baseline.Place(ar.App.Prog, n.Nest, ar.App.Store, opts, baseline.ProfiledLocality)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := sim.Run(def.Schedule, cfg)
+			if err != nil {
+				return nil, err
+			}
+			dataCycles += sr.Cycles
+			opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
+			if err != nil {
+				return nil, err
+			}
+			sr2, err := sim.Run(opt.Schedule, cfg)
+			if err != nil {
+				return nil, err
+			}
+			combCycles += sr2.Cycles
+		}
+		e.Table.Add(name,
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)),
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, dataCycles)),
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, combCycles)))
+		base = append(base, ar.SimDef.Cycles)
+		ours = append(ours, ar.SimOpt.Cycles)
+		datas = append(datas, dataCycles)
+		combs = append(combs, combCycles)
+	}
+	e.Headline["ours"] = stats.GeomeanReduction(base, ours)
+	e.Headline["data_mapping"] = stats.GeomeanReduction(base, datas)
+	e.Headline["combined"] = stats.GeomeanReduction(base, combs)
+	return e, nil
+}
+
+// Fig24 reproduces Figure 24: energy savings of the approach and the two
+// ideal scenarios over the default placement.
+func (r *Runner) Fig24() (*Experiment, error) {
+	e := &Experiment{
+		ID:         "fig24",
+		Title:      "Figure 24: energy reduction vs default placement",
+		PaperClaim: "average ~23.1% savings; ideal schemes higher",
+		Table:      &stats.Table{Header: []string{"App", "Ours", "IdealNetwork", "IdealAnalysis"}},
+		Headline:   map[string]float64{},
+	}
+	var ours []float64
+	for _, name := range appNames() {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
+		o := stats.Reduction(ar.SimDef.Energy.Total(), ar.SimOpt.Energy.Total())
+		n := stats.Reduction(ar.SimDef.Energy.Total(), ar.SimDefIdealNet.Energy.Total())
+		a := stats.Reduction(ar.SimDef.Energy.Total(), ar.SimOptIdeal.Energy.Total())
+		e.Table.Add(name, stats.Pct(o), stats.Pct(n), stats.Pct(a))
+		ours = append(ours, o)
+	}
+	e.Headline["ours"] = stats.Mean(ours)
+	return e, nil
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+
+	"dmacp/internal/stats"
+	"dmacp/internal/workloads"
+)
+
+// TestSuiteShapeMatchesPaper is the end-to-end guard for the reproduction:
+// it runs default placement, optimized partitioning and simulation for all
+// 12 applications at a medium scale and asserts the headline shapes of the
+// paper's evaluation hold:
+//
+//   - data movement drops for every application (Figure 13), with a geomean
+//     in the broad band around the paper's 35.3%;
+//   - simulated execution time improves for every application, with a
+//     geomean in the band around the paper's 18.4% (Figure 17);
+//   - the simulated L1 hit rate improves for every application (Figure 16).
+func TestSuiteShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration run")
+	}
+	r := NewRunner(workloads.Scale{Iters: 128, Elems: 1 << 15})
+	var defC, optC []float64
+	var moveRed []float64
+	for _, name := range workloads.Names() {
+		ar, err := r.Base(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv := stats.Reduction(float64(ar.DefMovement()), float64(ar.OptMovement()))
+		if mv <= 0 {
+			t.Errorf("%s: movement not reduced (%.1f%%)", name, mv*100)
+		}
+		moveRed = append(moveRed, mv)
+		ex := stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)
+		if ex <= 0 {
+			t.Errorf("%s: execution time not improved (%.1f%%)", name, ex*100)
+		}
+		if ar.SimOpt.L1HitRate() <= ar.SimDef.L1HitRate() {
+			t.Errorf("%s: L1 hit rate not improved (%.2f -> %.2f)",
+				name, ar.SimDef.L1HitRate(), ar.SimOpt.L1HitRate())
+		}
+		defC = append(defC, ar.SimDef.Cycles)
+		optC = append(optC, ar.SimOpt.Cycles)
+	}
+	if g := stats.Geomean(moveRed); g < 0.20 || g > 0.55 {
+		t.Errorf("movement reduction geomean = %.1f%%, outside the band around the paper's 35.3%%", g*100)
+	}
+	if g := stats.GeomeanReduction(defC, optC); g < 0.08 || g > 0.45 {
+		t.Errorf("execution reduction geomean = %.1f%%, outside the band around the paper's 18.4%%", g*100)
+	}
+}

@@ -1,0 +1,162 @@
+package ir
+
+import "testing"
+
+func findDep(deps []Dep, from, to int, kind DepKind) *Dep {
+	for i := range deps {
+		if deps[i].From == from && deps[i].To == to && deps[i].Kind == kind {
+			return &deps[i]
+		}
+	}
+	return nil
+}
+
+func TestFlowDepSameIteration(t *testing.T) {
+	// Figure 7: S1 writes A(i), S2 reads A(i).
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)+C(i)+D(i)"),
+		MustParseStatement("G(i) = A(i)+F(i)"),
+	}
+	deps := Dependences(body)
+	d := findDep(deps, 0, 1, Flow)
+	if d == nil {
+		t.Fatalf("no flow dep found in %v", deps)
+	}
+	if !d.SameIteration {
+		t.Error("flow dep should be same-iteration")
+	}
+	if d.Array != "A" {
+		t.Errorf("dep array = %q", d.Array)
+	}
+}
+
+func TestFlowDepLoopCarried(t *testing.T) {
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)"),
+		MustParseStatement("C(i) = A(i-1)"),
+	}
+	deps := Dependences(body)
+	d := findDep(deps, 0, 1, Flow)
+	if d == nil {
+		t.Fatal("no flow dep found")
+	}
+	if d.SameIteration {
+		t.Error("A(i) -> A(i-1) should be loop-carried")
+	}
+}
+
+func TestNoDepDistinctArrays(t *testing.T) {
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)"),
+		MustParseStatement("C(i) = D(i)"),
+	}
+	for _, d := range Dependences(body) {
+		if d.From != d.To {
+			t.Errorf("unexpected cross-statement dep %v", d)
+		}
+	}
+}
+
+func TestAntiDep(t *testing.T) {
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)"),
+		MustParseStatement("B(i) = C(i)"),
+	}
+	d := findDep(Dependences(body), 0, 1, Anti)
+	if d == nil {
+		t.Fatal("no anti dep found")
+	}
+	if !d.SameIteration {
+		t.Error("B(i)/B(i) anti dep should be same-iteration")
+	}
+}
+
+func TestOutputDep(t *testing.T) {
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)"),
+		MustParseStatement("A(i+1) = C(i)"),
+	}
+	d := findDep(Dependences(body), 0, 1, Output)
+	if d == nil {
+		t.Fatal("no output dep found")
+	}
+	if d.SameIteration {
+		t.Error("A(i)/A(i+1) output dep should be loop-carried")
+	}
+}
+
+func TestMayDepThroughIndirect(t *testing.T) {
+	// Section 4.5's example: statement-A writes X(i), statement-B reads
+	// X(Y(i)).
+	body := []*Statement{
+		MustParseStatement("X(i) = B(i)"),
+		MustParseStatement("Z(i) = X(Y(i))"),
+	}
+	d := findDep(Dependences(body), 0, 1, May)
+	if d == nil {
+		t.Fatalf("no may dep found in %v", Dependences(body))
+	}
+	if !HasMayDeps(body) {
+		t.Error("HasMayDeps = false")
+	}
+}
+
+func TestNoMayDepsForAffineBody(t *testing.T) {
+	body := []*Statement{
+		MustParseStatement("A(i) = B(i)+C(i)"),
+		MustParseStatement("X(i) = Y(i)+C(i)"),
+	}
+	if HasMayDeps(body) {
+		t.Error("affine body reported may-deps")
+	}
+}
+
+func TestDistinctConstantsNeverCollide(t *testing.T) {
+	// A(2*i) vs A(2*i+1): same coefficients, different constants -> under
+	// our model a loop-carried conflict is reported only if constants can
+	// coincide; 2i and 2i+1 differ by 1, and our binary model flags carried.
+	// But A(5) vs A(7) (no variables) can never collide.
+	body := []*Statement{
+		MustParseStatement("A(5) = B(i)"),
+		MustParseStatement("C(i) = A(7)"),
+	}
+	if d := findDep(Dependences(body), 0, 1, Flow); d != nil {
+		t.Errorf("constant subscripts 5 and 7 reported conflicting: %v", d)
+	}
+}
+
+func TestSelfLoopCarriedFlow(t *testing.T) {
+	// A(i) = A(i-1)+B(i): recurrence, self flow dep loop-carried.
+	body := []*Statement{MustParseStatement("A(i) = A(i-1)+B(i)")}
+	d := findDep(Dependences(body), 0, 0, Flow)
+	if d == nil {
+		t.Fatal("no self flow dep for recurrence")
+	}
+	if d.SameIteration {
+		t.Error("recurrence dep should be loop-carried")
+	}
+}
+
+func TestSelfSameIterationReadIsNotADep(t *testing.T) {
+	// A(i) = A(i)+B(i): reads its own previous value in the same iteration,
+	// which is an ordinary read-modify-write, not a cross-instance dep.
+	body := []*Statement{MustParseStatement("A(i) = A(i)+B(i)")}
+	if d := findDep(Dependences(body), 0, 0, Flow); d != nil {
+		t.Errorf("read-modify-write reported as dep: %v", d)
+	}
+}
+
+func TestDepKindString(t *testing.T) {
+	for k, want := range map[DepKind]string{Flow: "flow", Anti: "anti", Output: "output", May: "may"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestDepString(t *testing.T) {
+	d := Dep{From: 0, To: 1, Kind: Flow, Array: "A", SameIteration: true}
+	if got := d.String(); got != "flow dep S1 -> S2 on A (same-iteration)" {
+		t.Errorf("String = %q", got)
+	}
+}

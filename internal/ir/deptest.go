@@ -1,0 +1,169 @@
+package ir
+
+// Exact dependence tests for affine subscripts, in the tradition of Maydan,
+// Hennessy and Lam [50] that the paper's implementation builds on: the GCD
+// test and single-subscript Banerjee bounds. The tests DISPROVE dependences;
+// when neither can, the analysis stays conservative.
+
+// GCDTest decides whether the dependence equation
+//
+//	a(i_1..i_n) = b(j_1..j_n)
+//
+// can have an integer solution, looking only at divisibility: writing the
+// equation as sum(a_k * i_k) - sum(b_k * j_k) = b.Const - a.Const, an integer
+// solution requires gcd of all coefficients to divide the constant
+// difference. It returns false when the dependence is disproved (no
+// solution), true when one may exist.
+//
+// The two references use distinct iteration instances, so shared loop
+// variables on the two sides are treated as independent unknowns — exactly
+// the classical formulation.
+func GCDTest(a, b Affine) bool {
+	g := uint64(0)
+	for _, c := range a.Coeffs {
+		g = gcd64(g, abs64(c))
+	}
+	for _, c := range b.Coeffs {
+		g = gcd64(g, abs64(c))
+	}
+	diff := b.Const - a.Const
+	if g == 0 {
+		// No variable terms at all: dependence iff the constants coincide.
+		return diff == 0
+	}
+	return abs64(diff)%g == 0
+}
+
+// Bounds is an inclusive integer interval for a loop variable.
+type Bounds struct {
+	Lo, Hi int
+}
+
+// BanerjeeTest decides whether a(i) = b(j) can hold for iteration vectors
+// within the given per-variable bounds: it computes the minimum and maximum
+// of sum(a_k*i_k) - sum(b_k*j_k) + (a.Const - b.Const) over the bounds and
+// reports whether zero lies in that interval. Variables missing from bounds
+// are treated as unconstrained only in the degenerate sense of [0, 0]
+// (scalars). It returns false when the dependence is disproved.
+func BanerjeeTest(a, b Affine, bounds map[string]Bounds) bool {
+	lo := a.Const - b.Const
+	hi := lo
+	add := func(coeff int, name string) {
+		bd := bounds[name]
+		t1, t2 := coeff*bd.Lo, coeff*bd.Hi
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		lo += t1
+		hi += t2
+	}
+	for name, c := range a.Coeffs {
+		add(c, name)
+	}
+	for name, c := range b.Coeffs {
+		add(-c, name)
+	}
+	return lo <= 0 && 0 <= hi
+}
+
+// NestBounds derives the per-variable bounds of a nest's loops.
+func NestBounds(n *Nest) map[string]Bounds {
+	out := make(map[string]Bounds, len(n.Loops))
+	for _, l := range n.Loops {
+		if l.Trips() == 0 {
+			out[l.Var] = Bounds{Lo: l.Lower, Hi: l.Lower}
+			continue
+		}
+		out[l.Var] = Bounds{Lo: l.Lower, Hi: l.Lower + (l.Trips()-1)*l.Step}
+	}
+	return out
+}
+
+// MayAlias combines the exact tests: it reports whether two affine
+// references to the same array can touch the same element under the given
+// loop bounds (nil bounds skips the Banerjee test). Indirect references are
+// not handled here — callers must treat them as may-dependences.
+func MayAlias(a, b Affine, bounds map[string]Bounds) bool {
+	if !GCDTest(a, b) {
+		return false
+	}
+	if bounds != nil && !BanerjeeTest(a, b, bounds) {
+		return false
+	}
+	return true
+}
+
+// DependencesIn is Dependences refined with the nest's loop bounds: pairs
+// whose subscripts the GCD or Banerjee test disproves are dropped.
+func DependencesIn(n *Nest) []Dep {
+	bounds := NestBounds(n)
+	var out []Dep
+	for _, d := range Dependences(n.Body) {
+		if d.Kind == May || d.SameIteration {
+			out = append(out, d)
+			continue
+		}
+		// Re-derive the pair of references and re-test with bounds.
+		if keepDep(n.Body, d, bounds) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// keepDep re-tests a loop-carried dependence with the exact tests; it keeps
+// the dependence when any contributing reference pair survives.
+func keepDep(body []*Statement, d Dep, bounds map[string]Bounds) bool {
+	from, to := body[d.From], body[d.To]
+	pairs := depRefPairs(from, to, d)
+	for _, pr := range pairs {
+		sa, oka := SubscriptOf(pr[0])
+		sb, okb := SubscriptOf(pr[1])
+		if !oka || !okb {
+			return true // indirect: cannot disprove
+		}
+		if MayAlias(sa, sb, bounds) {
+			return true
+		}
+	}
+	return len(pairs) == 0 // no contributing pair: keep conservatively
+}
+
+// depRefPairs enumerates the (earlier ref, later ref) pairs on the
+// dependence's array consistent with its kind.
+func depRefPairs(from, to *Statement, d Dep) [][2]*Ref {
+	var pairs [][2]*Ref
+	switch d.Kind {
+	case Output:
+		if from.LHS.Array == d.Array && to.LHS.Array == d.Array {
+			pairs = append(pairs, [2]*Ref{from.LHS, to.LHS})
+		}
+	case Anti:
+		for _, r := range from.Inputs() {
+			if r.Array == d.Array && to.LHS.Array == d.Array {
+				pairs = append(pairs, [2]*Ref{r, to.LHS})
+			}
+		}
+	default: // Flow (and May handled by caller)
+		for _, r := range to.Inputs() {
+			if r.Array == d.Array && from.LHS.Array == d.Array {
+				pairs = append(pairs, [2]*Ref{from.LHS, r})
+			}
+		}
+	}
+	return pairs
+}
+
+func gcd64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(v int) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}

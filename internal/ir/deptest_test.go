@@ -1,0 +1,183 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func affOf(t *testing.T, subscript string) Affine {
+	t.Helper()
+	s := MustParseStatement("Q(" + subscript + ") = z")
+	a, ok := SubscriptOf(s.LHS)
+	if !ok {
+		t.Fatalf("subscript %q not affine", subscript)
+	}
+	return a
+}
+
+func TestGCDTestDisproves(t *testing.T) {
+	// 2i vs 2j+1: even never equals odd.
+	if GCDTest(affOf(t, "2*i"), affOf(t, "2*i+1")) {
+		t.Error("2i = 2j+1 not disproved")
+	}
+	// 4i+2 vs 8j+6: gcd 4 divides 4.
+	if !GCDTest(affOf(t, "4*i+2"), affOf(t, "8*i+6")) {
+		t.Error("4i+2 = 8j+6 wrongly disproved")
+	}
+	// Constants only.
+	if GCDTest(affOf(t, "5"), affOf(t, "7")) {
+		t.Error("5 = 7 not disproved")
+	}
+	if !GCDTest(affOf(t, "5"), affOf(t, "5")) {
+		t.Error("5 = 5 disproved")
+	}
+}
+
+// Property: if a brute-force search over a small iteration box finds a
+// solution, GCDTest must not have disproved it (GCD is conservative).
+func TestGCDTestSoundness(t *testing.T) {
+	if err := quick.Check(func(a1, c1, a2, c2 int8) bool {
+		aa := Affine{Coeffs: map[string]int{"i": int(a1)}, Const: int(c1)}
+		bb := Affine{Coeffs: map[string]int{"i": int(a2)}, Const: int(c2)}
+		found := false
+		for i := -12; i <= 12 && !found; i++ {
+			for j := -12; j <= 12 && !found; j++ {
+				if int(a1)*i+int(c1) == int(a2)*j+int(c2) {
+					found = true
+				}
+			}
+		}
+		if found && !GCDTest(aa, bb) {
+			return false // unsound: disproved an existing solution
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBanerjeeTestBounds(t *testing.T) {
+	bounds := map[string]Bounds{"i": {0, 9}}
+	// i and i+100 can never meet within [0,9].
+	if BanerjeeTest(affOf(t, "i"), affOf(t, "i+100"), bounds) {
+		t.Error("i = j+100 not disproved for i,j in [0,9]")
+	}
+	// i and i+5 can meet (i=5, j=0).
+	if !BanerjeeTest(affOf(t, "i"), affOf(t, "i+5"), bounds) {
+		t.Error("i = j+5 wrongly disproved")
+	}
+	// Negative coefficients.
+	if !BanerjeeTest(affOf(t, "9-i"), affOf(t, "i"), bounds) {
+		t.Error("9-i = j wrongly disproved")
+	}
+}
+
+// Property: Banerjee is sound — a brute-force solution within bounds implies
+// the test passes.
+func TestBanerjeeSoundness(t *testing.T) {
+	bounds := map[string]Bounds{"i": {0, 7}}
+	if err := quick.Check(func(a1, c1, a2, c2 int8) bool {
+		aa := Affine{Coeffs: map[string]int{"i": int(a1)}, Const: int(c1)}
+		bb := Affine{Coeffs: map[string]int{"i": int(a2)}, Const: int(c2)}
+		found := false
+		for i := 0; i <= 7 && !found; i++ {
+			for j := 0; j <= 7 && !found; j++ {
+				if int(a1)*i+int(c1) == int(a2)*j+int(c2) {
+					found = true
+				}
+			}
+		}
+		return !found || BanerjeeTest(aa, bb, bounds)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestBounds(t *testing.T) {
+	n := &Nest{Loops: []Loop{
+		{Var: "i", Lower: 2, Upper: 10, Step: 3}, // 2, 5, 8
+		{Var: "j", Lower: 0, Upper: 0, Step: 1},  // empty
+	}}
+	b := NestBounds(n)
+	if b["i"].Lo != 2 || b["i"].Hi != 8 {
+		t.Errorf("i bounds = %+v", b["i"])
+	}
+	if b["j"].Lo != 0 || b["j"].Hi != 0 {
+		t.Errorf("j bounds = %+v", b["j"])
+	}
+}
+
+func TestMayAliasCombined(t *testing.T) {
+	bounds := map[string]Bounds{"i": {0, 9}}
+	if MayAlias(affOf(t, "2*i"), affOf(t, "2*i+1"), bounds) {
+		t.Error("parity conflict not disproved")
+	}
+	if MayAlias(affOf(t, "i"), affOf(t, "i+50"), bounds) {
+		t.Error("out-of-range conflict not disproved")
+	}
+	if !MayAlias(affOf(t, "i"), affOf(t, "i+3"), bounds) {
+		t.Error("feasible conflict disproved")
+	}
+}
+
+func TestDependencesInRefines(t *testing.T) {
+	// A(2*i) writes even elements; A(2*i+1) reads odd ones: the naive
+	// analysis reports a loop-carried flow dep, the GCD test kills it.
+	nest := &Nest{
+		Loops: []Loop{{Var: "i", Lower: 0, Upper: 16, Step: 1}},
+		Body: []*Statement{
+			MustParseStatement("A(2*i) = B(i)"),
+			MustParseStatement("C(i) = A(2*i+1)"),
+		},
+	}
+	naive := Dependences(nest.Body)
+	foundNaive := false
+	for _, d := range naive {
+		if d.From == 0 && d.To == 1 && d.Kind == Flow {
+			foundNaive = true
+		}
+	}
+	if !foundNaive {
+		t.Fatal("naive analysis missing the candidate dep")
+	}
+	for _, d := range DependencesIn(nest) {
+		if d.From == 0 && d.To == 1 && d.Kind == Flow {
+			t.Errorf("GCD-refuted dependence survived: %v", d)
+		}
+	}
+}
+
+func TestDependencesInKeepsRealDeps(t *testing.T) {
+	nest := &Nest{
+		Loops: []Loop{{Var: "i", Lower: 0, Upper: 16, Step: 1}},
+		Body: []*Statement{
+			MustParseStatement("A(i) = B(i)"),
+			MustParseStatement("C(i) = A(i-1)"),
+		},
+	}
+	found := false
+	for _, d := range DependencesIn(nest) {
+		if d.From == 0 && d.To == 1 && d.Kind == Flow {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("real loop-carried dep dropped")
+	}
+}
+
+func TestDependencesInDropsOutOfRange(t *testing.T) {
+	// A(i) vs A(i+1000) with i in [0,16): Banerjee disproves.
+	nest := &Nest{
+		Loops: []Loop{{Var: "i", Lower: 0, Upper: 16, Step: 1}},
+		Body: []*Statement{
+			MustParseStatement("A(i) = B(i)"),
+			MustParseStatement("C(i) = A(i+1000)"),
+		},
+	}
+	for _, d := range DependencesIn(nest) {
+		if d.From == 0 && d.To == 1 {
+			t.Errorf("out-of-range dependence survived: %v", d)
+		}
+	}
+}

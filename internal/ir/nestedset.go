@@ -1,0 +1,92 @@
+package ir
+
+import "strings"
+
+// SetNode is an element of the nested variable sets built by the paper's
+// variable_parsing step (Algorithm 1, line 5): either a single array
+// reference (leaf) or a nested group that must be computed before the
+// enclosing level may combine it (higher computation priority, forced by
+// parentheses or operator precedence).
+type SetNode struct {
+	// Ref is non-nil for leaves.
+	Ref *Ref
+	// Group is non-nil (and Ref nil) for nested sets.
+	Group []*SetNode
+	// Op is the operator class that combines the elements of this group;
+	// leaves carry OpNone. Used for cost accounting when load balancing.
+	Op Op
+}
+
+// IsLeaf reports whether the node is a single reference.
+func (n *SetNode) IsLeaf() bool { return n.Ref != nil }
+
+// String renders the nested set in the paper's notation, e.g.
+// "(a, (b, c), d, (e, f, g))".
+func (n *SetNode) String() string {
+	if n.IsLeaf() {
+		return n.Ref.String()
+	}
+	parts := make([]string, len(n.Group))
+	for i, c := range n.Group {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Leaves appends all leaf references of the subtree, left to right.
+func (n *SetNode) Leaves(dst []*Ref) []*Ref {
+	if n.IsLeaf() {
+		return append(dst, n.Ref)
+	}
+	for _, c := range n.Group {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// NestedSets classifies the data accessed by the statement's RHS into nested
+// sets according to computation priority and parentheses (Section 4.2). For
+// the paper's example x = a*(b+c) + d*(e+f+g) it produces
+// (a, (b, c), d, (e, f, g)): multiplicative factors flatten into the
+// enclosing additive level, while sums that must be evaluated before a
+// product become nested groups. Numeric literals carry no location and are
+// dropped. The LHS (store node) is not part of the set; the scheduler adds it
+// to the outermost MST level.
+func NestedSets(e Expr) *SetNode {
+	top := &SetNode{Group: flattenSet(e, 1), Op: topOp(e)}
+	return top
+}
+
+func topOp(e Expr) Op {
+	if b, ok := e.(*Bin); ok {
+		return b.Op
+	}
+	return OpNone
+}
+
+// flattenSet flattens e into set elements at an enclosing precedence level
+// prec. A binary subtree whose operator binds more loosely than the
+// enclosing level must be computed first and therefore becomes a nested
+// group; all other subtrees flatten in place.
+func flattenSet(e Expr, prec int) []*SetNode {
+	switch n := e.(type) {
+	case *Num:
+		return nil
+	case *Ref:
+		return []*SetNode{{Ref: n}}
+	case *Bin:
+		p := n.Op.Precedence()
+		if p < prec {
+			inner := flattenSet(e, p)
+			if len(inner) == 1 {
+				// A group of one element (the other operands were literals)
+				// collapses to the element itself.
+				return inner
+			}
+			return []*SetNode{{Group: inner, Op: n.Op}}
+		}
+		out := flattenSet(n.L, p)
+		return append(out, flattenSet(n.R, p)...)
+	}
+	return nil
+}

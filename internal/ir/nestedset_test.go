@@ -1,0 +1,110 @@
+package ir
+
+import "testing"
+
+// TestNestedSetsPaperExample reproduces the decomposition of Section 4.2:
+// x = a*(b+c) + d*(e+f+g) classifies into (a, (b, c), d, (e, f, g)).
+func TestNestedSetsPaperExample(t *testing.T) {
+	s := MustParseStatement("x = a*(b+c)+d*(e+f+g)")
+	set := NestedSets(s.RHS)
+	if got, want := set.String(), "(a, (b, c), d, (e, f, g))"; got != want {
+		t.Errorf("NestedSets = %s, want %s", got, want)
+	}
+}
+
+// TestNestedSetsFigure10 reproduces the second example: A = B*(C+D+E)
+// classifies into (B, (C, D, E)).
+func TestNestedSetsFigure10(t *testing.T) {
+	s := MustParseStatement("A(i) = B(i)*(C(i)+D(i)+E(i))")
+	set := NestedSets(s.RHS)
+	if got, want := set.String(), "(B(i), (C(i), D(i), E(i)))"; got != want {
+		t.Errorf("NestedSets = %s, want %s", got, want)
+	}
+}
+
+func TestNestedSetsFlatSum(t *testing.T) {
+	s := MustParseStatement("A(i) = B(i)+C(i)+D(i)+E(i)")
+	set := NestedSets(s.RHS)
+	if got, want := set.String(), "(B(i), C(i), D(i), E(i))"; got != want {
+		t.Errorf("NestedSets = %s, want %s", got, want)
+	}
+	if len(set.Group) != 4 {
+		t.Errorf("top level has %d elements", len(set.Group))
+	}
+	for _, n := range set.Group {
+		if !n.IsLeaf() {
+			t.Errorf("element %s is not a leaf", n)
+		}
+	}
+}
+
+func TestNestedSetsSingleRef(t *testing.T) {
+	s := MustParseStatement("A(i) = B(i)")
+	set := NestedSets(s.RHS)
+	if len(set.Group) != 1 || !set.Group[0].IsLeaf() {
+		t.Errorf("NestedSets = %s", set)
+	}
+	if set.Op != OpNone {
+		t.Errorf("Op = %v, want OpNone", set.Op)
+	}
+}
+
+func TestNestedSetsDropsLiterals(t *testing.T) {
+	s := MustParseStatement("A(i) = 2*B(i)+1")
+	set := NestedSets(s.RHS)
+	leaves := set.Leaves(nil)
+	if len(leaves) != 1 || leaves[0].Array != "B" {
+		t.Errorf("leaves = %v", leaves)
+	}
+}
+
+func TestNestedSetsLiteralOnlyGroupCollapses(t *testing.T) {
+	// (B(i)+3)*C(i): the sum contains one located ref, so it must collapse
+	// to the ref itself rather than forming a singleton group.
+	s := MustParseStatement("A(i) = (B(i)+3)*C(i)")
+	set := NestedSets(s.RHS)
+	if got, want := set.String(), "(B(i), C(i))"; got != want {
+		t.Errorf("NestedSets = %s, want %s", got, want)
+	}
+}
+
+func TestNestedSetsDeepNesting(t *testing.T) {
+	s := MustParseStatement("x = a*((b+c)*d+e)")
+	set := NestedSets(s.RHS)
+	// a times the group (b+c)*d+e; inside, (b+c)*d flattens into the + level
+	// as b+c grouped and d flat: ((b, c), d, e).
+	if got, want := set.String(), "(a, ((b, c), d, e))"; got != want {
+		t.Errorf("NestedSets = %s, want %s", got, want)
+	}
+}
+
+func TestNestedSetsOpRecorded(t *testing.T) {
+	s := MustParseStatement("x = a*(b+c)")
+	set := NestedSets(s.RHS)
+	if set.Op != OpMul {
+		t.Errorf("top Op = %v, want *", set.Op)
+	}
+	var group *SetNode
+	for _, n := range set.Group {
+		if !n.IsLeaf() {
+			group = n
+		}
+	}
+	if group == nil || group.Op != OpAdd {
+		t.Errorf("inner group = %v", group)
+	}
+}
+
+func TestLeavesOrder(t *testing.T) {
+	s := MustParseStatement("x = a*(b+c)+d*(e+f+g)")
+	leaves := NestedSets(s.RHS).Leaves(nil)
+	want := []string{"a", "b", "c", "d", "e", "f", "g"}
+	if len(leaves) != len(want) {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	for i, l := range leaves {
+		if l.Array != want[i] {
+			t.Errorf("leaf %d = %q, want %q", i, l.Array, want[i])
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Array describes one program array: a named, contiguous region of the
+// virtual address space. Element size is in bytes.
+type Array struct {
+	Name     string
+	Base     uint64
+	ElemSize uint64
+	Len      int
+}
+
+// AddrOfIndex returns the virtual address of element idx. Indices are wrapped
+// modulo the array length; the synthetic workloads index with
+// modulo-wrapping, the way many benchmark generators keep accesses in range.
+func (a *Array) AddrOfIndex(idx int) uint64 {
+	n := a.Len
+	if n <= 0 {
+		n = 1
+	}
+	w := ((idx % n) + n) % n
+	return a.Base + uint64(w)*a.ElemSize
+}
+
+// Loop is one loop of a nest: for Var := Lower; Var < Upper; Var += Step.
+type Loop struct {
+	Var   string
+	Lower int
+	Upper int
+	Step  int
+}
+
+// Trips returns the number of iterations of the loop.
+func (l Loop) Trips() int {
+	if l.Step <= 0 || l.Upper <= l.Lower {
+		return 0
+	}
+	return (l.Upper - l.Lower + l.Step - 1) / l.Step
+}
+
+// Nest is a loop nest: one or more nested loops around a straight-line body
+// of statements. By convention an outer loop over variable "t" is the
+// application's timing loop (the loop the inspector–executor paradigm of
+// Section 4.5 splits); statements never subscript with t, so successive t
+// iterations re-sweep the same data.
+type Nest struct {
+	Name  string
+	Loops []Loop
+	Body  []*Statement
+}
+
+// Iterations returns the product of the trip counts of the explicit loops.
+func (n *Nest) Iterations() int {
+	total := 1
+	for _, l := range n.Loops {
+		total *= l.Trips()
+	}
+	return total
+}
+
+// StatementInstances returns Iterations() * len(Body), the number of
+// statement instances one sweep of the nest executes.
+func (n *Nest) StatementInstances() int { return n.Iterations() * len(n.Body) }
+
+// ForEachIteration invokes fn with the iteration environment of every
+// iteration in lexicographic (execution) order. fn returning false stops the
+// walk early. The env map is reused between calls; callers must not retain
+// it.
+func (n *Nest) ForEachIteration(fn func(env map[string]int) bool) {
+	env := make(map[string]int, len(n.Loops))
+	var walk func(depth int) bool
+	walk = func(depth int) bool {
+		if depth == len(n.Loops) {
+			return fn(env)
+		}
+		l := n.Loops[depth]
+		for v := l.Lower; v < l.Upper; v += l.Step {
+			env[l.Var] = v
+			if !walk(depth + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(0)
+}
+
+// IterationEnv returns the environment of the k-th iteration (0-based, in
+// execution order).
+func (n *Nest) IterationEnv(k int) map[string]int {
+	env := make(map[string]int, len(n.Loops))
+	// Decompose k in mixed radix, innermost loop varying fastest.
+	radix := make([]int, len(n.Loops))
+	for i, l := range n.Loops {
+		radix[i] = l.Trips()
+	}
+	for i := len(n.Loops) - 1; i >= 0; i-- {
+		t := radix[i]
+		if t == 0 {
+			env[n.Loops[i].Var] = n.Loops[i].Lower
+			continue
+		}
+		env[n.Loops[i].Var] = n.Loops[i].Lower + (k%t)*n.Loops[i].Step
+		k /= t
+	}
+	return env
+}
+
+// Program is a compilation unit: a symbol table of arrays plus an ordered
+// list of loop nests.
+type Program struct {
+	Arrays map[string]*Array
+	Nests  []*Nest
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	return &Program{Arrays: make(map[string]*Array)}
+}
+
+// AddArray declares an array of n elements with the given element size,
+// assigning it a base address beyond every existing array (page aligned, so
+// distinct arrays never share a page).
+func (p *Program) AddArray(name string, n int, elemSize uint64) *Array {
+	const pageBytes = 4096
+	var top uint64
+	for _, a := range p.Arrays {
+		end := a.Base + uint64(a.Len)*a.ElemSize
+		if end > top {
+			top = end
+		}
+	}
+	base := (top + pageBytes - 1) / pageBytes * pageBytes
+	arr := &Array{Name: name, Base: base, ElemSize: elemSize, Len: n}
+	p.Arrays[name] = arr
+	return arr
+}
+
+// Array returns the named array, or nil.
+func (p *Program) Array(name string) *Array { return p.Arrays[name] }
+
+// ArrayNames returns the declared array names in sorted order.
+func (p *Program) ArrayNames() []string {
+	names := make([]string, 0, len(p.Arrays))
+	for n := range p.Arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeclareFromNest declares, with the given default length and element size,
+// every array referenced by the nest that is not yet in the symbol table.
+// Loop variables (bare identifiers appearing only inside subscripts) are not
+// declared.
+func (p *Program) DeclareFromNest(n *Nest, defaultLen int, elemSize uint64) {
+	loopVars := make(map[string]bool, len(n.Loops))
+	for _, l := range n.Loops {
+		loopVars[l.Var] = true
+	}
+	loopVars["t"] = true
+	var names []string
+	seen := make(map[string]bool)
+	for _, s := range n.Body {
+		for _, r := range s.AllRefs() {
+			if r.Index == nil && loopVars[r.Array] {
+				continue
+			}
+			if !seen[r.Array] {
+				seen[r.Array] = true
+				names = append(names, r.Array)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if p.Arrays[name] == nil {
+			p.AddArray(name, defaultLen, elemSize)
+		}
+	}
+}
+
+// AddrOf resolves the virtual address accessed by ref under iteration
+// environment env. Indirect subscripts are resolved through store (the
+// runtime values, as the inspector would observe them); store may be nil
+// only for analyzable refs.
+func (p *Program) AddrOf(ref *Ref, env map[string]int, store *Store) (uint64, error) {
+	arr := p.Arrays[ref.Array]
+	if arr == nil {
+		return 0, fmt.Errorf("ir: unknown array %q", ref.Array)
+	}
+	idx, err := p.IndexOf(ref, env, store)
+	if err != nil {
+		return 0, err
+	}
+	return arr.AddrOfIndex(idx), nil
+}
+
+// IndexOf resolves the element index accessed by ref under env, consulting
+// store for indirect subscripts.
+func (p *Program) IndexOf(ref *Ref, env map[string]int, store *Store) (int, error) {
+	if ref.Index == nil {
+		return 0, nil
+	}
+	if aff, ok := AnalyzeAffine(ref.Index); ok {
+		return aff.Eval(env), nil
+	}
+	if store == nil {
+		return 0, fmt.Errorf("ir: indirect reference %s needs runtime values", ref)
+	}
+	v, err := p.evalIndex(ref.Index, env, store)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (p *Program) evalIndex(e Expr, env map[string]int, store *Store) (int, error) {
+	switch n := e.(type) {
+	case *Num:
+		return int(n.Val), nil
+	case *Ref:
+		if n.Index == nil {
+			return env[n.Array], nil // loop variable
+		}
+		inner, err := p.IndexOf(n, env, store)
+		if err != nil {
+			return 0, err
+		}
+		arr := p.Arrays[n.Array]
+		if arr == nil {
+			return 0, fmt.Errorf("ir: unknown array %q", n.Array)
+		}
+		return int(store.At(n.Array, inner)), nil
+	case *Bin:
+		l, err := p.evalIndex(n.L, env, store)
+		if err != nil {
+			return 0, err
+		}
+		r, err := p.evalIndex(n.R, env, store)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			if r == 0 {
+				return 0, fmt.Errorf("ir: division by zero in subscript")
+			}
+			return l / r, nil
+		case OpMod:
+			if r == 0 {
+				return 0, fmt.Errorf("ir: modulo by zero in subscript")
+			}
+			return l % r, nil
+		case OpAnd:
+			return l & r, nil
+		case OpOr:
+			return l | r, nil
+		}
+	}
+	return 0, fmt.Errorf("ir: unsupported subscript expression")
+}

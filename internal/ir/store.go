@@ -1,0 +1,134 @@
+package ir
+
+import "math/rand"
+
+// Store holds the runtime contents of a program's arrays. It exists for two
+// purposes: the inspector resolves indirect subscripts through it, and
+// example programs interpret statements against it to demonstrate that
+// optimized schedules compute the same values as the default execution.
+type Store struct {
+	data map[string][]float64
+}
+
+// NewStore allocates zeroed storage for every array of the program.
+func NewStore(p *Program) *Store {
+	s := &Store{data: make(map[string][]float64, len(p.Arrays))}
+	for name, arr := range p.Arrays {
+		s.data[name] = make([]float64, arr.Len)
+	}
+	return s
+}
+
+// FillRandom fills every array with deterministic pseudo-random values drawn
+// from seed. Index-like contents stay small and non-negative so indirect
+// subscripts resolve to valid-looking indices.
+func (s *Store) FillRandom(p *Program, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, name := range p.ArrayNames() {
+		arr := s.data[name]
+		for i := range arr {
+			arr[i] = float64(rng.Intn(1024))
+		}
+	}
+}
+
+// At returns element i of the named array, with the same modulo wrapping as
+// Array.AddrOfIndex. Unknown arrays read as zero.
+func (s *Store) At(name string, i int) float64 {
+	arr := s.data[name]
+	if len(arr) == 0 {
+		return 0
+	}
+	return arr[((i%len(arr))+len(arr))%len(arr)]
+}
+
+// Set stores v into element i of the named array (modulo wrapped). Unknown
+// arrays are ignored.
+func (s *Store) Set(name string, i int, v float64) {
+	arr := s.data[name]
+	if len(arr) == 0 {
+		return
+	}
+	arr[((i%len(arr))+len(arr))%len(arr)] = v
+}
+
+// Clone returns a deep copy, so a default and an optimized execution can run
+// from identical initial state.
+func (s *Store) Clone() *Store {
+	c := &Store{data: make(map[string][]float64, len(s.data))}
+	for k, v := range s.data {
+		nv := make([]float64, len(v))
+		copy(nv, v)
+		c.data[k] = nv
+	}
+	return c
+}
+
+// EvalRHS evaluates the right-hand side of a statement under env, reading
+// array contents from the store. It implements reference semantics for the
+// interpreter used in examples and tests.
+func (s *Store) EvalRHS(p *Program, e Expr, env map[string]int) (float64, error) {
+	switch n := e.(type) {
+	case *Num:
+		return n.Val, nil
+	case *Ref:
+		if n.Index == nil {
+			if _, isArr := p.Arrays[n.Array]; !isArr {
+				return float64(env[n.Array]), nil // loop variable
+			}
+			return s.At(n.Array, 0), nil
+		}
+		idx, err := p.IndexOf(n, env, s)
+		if err != nil {
+			return 0, err
+		}
+		return s.At(n.Array, idx), nil
+	case *Bin:
+		l, err := s.EvalRHS(p, n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.EvalRHS(p, n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			if r == 0 {
+				return 0, nil // synthetic kernels tolerate zero divisors
+			}
+			return l / r, nil
+		case OpMod:
+			if int64(r) == 0 {
+				return 0, nil
+			}
+			return float64(int64(l) % int64(r)), nil
+		case OpAnd:
+			return float64(int64(l) & int64(r)), nil
+		case OpOr:
+			return float64(int64(l) | int64(r)), nil
+		}
+	}
+	return 0, nil
+}
+
+// ExecStatement evaluates stmt under env and writes the result through the
+// LHS reference.
+func (s *Store) ExecStatement(p *Program, stmt *Statement, env map[string]int) error {
+	v, err := s.EvalRHS(p, stmt.RHS, env)
+	if err != nil {
+		return err
+	}
+	idx, err := p.IndexOf(stmt.LHS, env, s)
+	if err != nil {
+		return err
+	}
+	s.Set(stmt.LHS.Array, idx, v)
+	return nil
+}

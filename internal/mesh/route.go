@@ -1,0 +1,65 @@
+package mesh
+
+// Link is a directed connection between two adjacent mesh nodes.
+type Link struct {
+	From, To NodeID
+}
+
+// Route returns the sequence of directed links traversed by a message from
+// src to dst under deterministic XY (dimension-ordered) routing: first along
+// the X dimension, then along Y. The returned slice has exactly
+// Distance(src, dst) links; it is nil when src == dst.
+func (m *Mesh) Route(src, dst NodeID) []Link {
+	if src == dst {
+		return nil
+	}
+	cs, cd := m.CoordOf(src), m.CoordOf(dst)
+	links := make([]Link, 0, m.Distance(src, dst))
+	cur := cs
+	for cur.X != cd.X {
+		next := cur
+		if cd.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		links = append(links, Link{From: m.NodeAt(cur.X, cur.Y), To: m.NodeAt(next.X, next.Y)})
+		cur = next
+	}
+	for cur.Y != cd.Y {
+		next := cur
+		if cd.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		links = append(links, Link{From: m.NodeAt(cur.X, cur.Y), To: m.NodeAt(next.X, next.Y)})
+		cur = next
+	}
+	return links
+}
+
+// linkIndex maps a directed link to a dense index for traffic accounting.
+// Each node has up to 4 outgoing links, encoded as node*4 + direction.
+func (m *Mesh) linkIndex(l Link) int {
+	cf, ct := m.CoordOf(l.From), m.CoordOf(l.To)
+	var dir int
+	switch {
+	case ct.X == cf.X+1 && ct.Y == cf.Y:
+		dir = 0 // east
+	case ct.X == cf.X-1 && ct.Y == cf.Y:
+		dir = 1 // west
+	case ct.Y == cf.Y+1 && ct.X == cf.X:
+		dir = 2 // south
+	case ct.Y == cf.Y-1 && ct.X == cf.X:
+		dir = 3 // north
+	default:
+		return -1
+	}
+	return int(l.From)*4 + dir
+}
+
+// NumLinkSlots returns the size of the dense link-index space used by
+// Traffic; not every slot corresponds to a physical link (border nodes have
+// fewer than four neighbours) but unused slots simply stay at zero.
+func (m *Mesh) NumLinkSlots() int { return m.Nodes() * 4 }

@@ -1,0 +1,87 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteLengthEqualsDistance(t *testing.T) {
+	m := MustNew(6, 6)
+	n := NodeID(m.Nodes())
+	clamp := func(v NodeID) NodeID { return ((v % n) + n) % n }
+	if err := quick.Check(func(a, b NodeID) bool {
+		a, b = clamp(a), clamp(b)
+		return len(m.Route(a, b)) == m.Distance(a, b)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteIsContiguousXY(t *testing.T) {
+	m := MustNew(6, 6)
+	src, dst := m.NodeAt(1, 4), m.NodeAt(5, 0)
+	route := m.Route(src, dst)
+	if len(route) == 0 {
+		t.Fatal("empty route")
+	}
+	if route[0].From != src {
+		t.Errorf("route starts at %d, want %d", route[0].From, src)
+	}
+	if route[len(route)-1].To != dst {
+		t.Errorf("route ends at %d, want %d", route[len(route)-1].To, dst)
+	}
+	turned := false
+	for i, l := range route {
+		if i > 0 && route[i-1].To != l.From {
+			t.Fatalf("route discontinuous at hop %d", i)
+		}
+		cf, ct := m.CoordOf(l.From), m.CoordOf(l.To)
+		horizontal := cf.Y == ct.Y
+		if !horizontal {
+			turned = true
+		}
+		if turned && horizontal {
+			t.Fatal("XY route moved in X after turning to Y")
+		}
+	}
+}
+
+func TestRouteSelfIsEmpty(t *testing.T) {
+	m := MustNew(4, 4)
+	if r := m.Route(5, 5); r != nil {
+		t.Errorf("self route = %v, want nil", r)
+	}
+}
+
+func TestLinkIndexDistinctAndInRange(t *testing.T) {
+	m := MustNew(5, 5)
+	seen := make(map[int]Link)
+	for n := NodeID(0); int(n) < m.Nodes(); n++ {
+		c := m.CoordOf(n)
+		for _, d := range []Coord{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			to := m.NodeAt(c.X+d.X, c.Y+d.Y)
+			if to == InvalidNode {
+				continue
+			}
+			l := Link{From: n, To: to}
+			i := m.linkIndex(l)
+			if i < 0 || i >= m.NumLinkSlots() {
+				t.Fatalf("linkIndex(%v) = %d out of range", l, i)
+			}
+			if prev, dup := seen[i]; dup {
+				t.Fatalf("links %v and %v share index %d", prev, l, i)
+			}
+			seen[i] = l
+		}
+	}
+}
+
+func TestLinkIndexRejectsNonAdjacent(t *testing.T) {
+	m := MustNew(5, 5)
+	if i := m.linkIndex(Link{From: 0, To: 2}); i != -1 {
+		t.Errorf("non-adjacent link index = %d, want -1", i)
+	}
+	if i := m.linkIndex(Link{From: 0, To: m.NodeAt(1, 1)}); i != -1 {
+		t.Errorf("diagonal link index = %d, want -1", i)
+	}
+}

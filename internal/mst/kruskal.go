@@ -1,0 +1,83 @@
+package mst
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted undirected edge between two vertices identified by
+// dense indices.
+type Edge struct {
+	A, B   int
+	Weight int
+}
+
+// Kruskal computes a minimum spanning forest of the graph with n vertices
+// and the given edges. Edges are considered in increasing weight; ties are
+// broken deterministically by (A, B) so that repeated runs produce identical
+// trees (the paper breaks ties "randomly"; we require reproducibility).
+//
+// The returned edges form a spanning tree when the graph is connected, and a
+// spanning forest otherwise. Self-loops are ignored. Vertex indices must be
+// in [0, n).
+func Kruskal(n int, edges []Edge) ([]Edge, error) {
+	sorted := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return nil, fmt.Errorf("mst: edge (%d,%d) out of range [0,%d)", e.A, e.B, n)
+		}
+		if e.A == e.B {
+			continue
+		}
+		// Normalize orientation so tie-breaking is independent of input
+		// orientation.
+		if e.A > e.B {
+			e.A, e.B = e.B, e.A
+		}
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Weight != sorted[j].Weight {
+			return sorted[i].Weight < sorted[j].Weight
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+
+	uf := NewUnionFind(n)
+	tree := make([]Edge, 0, n-1)
+	for _, e := range sorted {
+		if uf.Union(e.A, e.B) {
+			tree = append(tree, e)
+			if len(tree) == n-1 {
+				break
+			}
+		}
+	}
+	return tree, nil
+}
+
+// TotalWeight sums the weights of edges.
+func TotalWeight(edges []Edge) int {
+	total := 0
+	for _, e := range edges {
+		total += e.Weight
+	}
+	return total
+}
+
+// CompleteGraph builds the edge list of the complete graph over n vertices
+// with weights given by dist(i, j). It is the graph the paper builds for each
+// program statement, where vertices are mesh nodes holding operands and
+// weights are Manhattan distances.
+func CompleteGraph(n int, dist func(i, j int) int) []Edge {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{A: i, B: j, Weight: dist(i, j)})
+		}
+	}
+	return edges
+}

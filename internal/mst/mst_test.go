@@ -1,0 +1,256 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 || u.Len() != 5 {
+		t.Fatalf("fresh union-find: sets=%d len=%d", u.Sets(), u.Len())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union returned false")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union returned true")
+	}
+	if !u.Connected(0, 1) || u.Connected(0, 2) {
+		t.Error("connectivity wrong after one union")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Errorf("Sets = %d, want 2", u.Sets())
+	}
+	if !u.Connected(1, 2) {
+		t.Error("transitive connectivity failed")
+	}
+}
+
+// Property: union-find connectivity agrees with a naive labeling scheme.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	type op struct{ A, B uint8 }
+	if err := quick.Check(func(ops []op) bool {
+		const n = 16
+		u := NewUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for _, o := range ops {
+			a, b := int(o.A)%n, int(o.B)%n
+			u.Union(a, b)
+			relabel(labels[a], labels[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Connected(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKruskalKnownGraph(t *testing.T) {
+	// Classic example: 4 vertices in a square with one diagonal.
+	edges := []Edge{
+		{0, 1, 1}, {1, 2, 2}, {2, 3, 1}, {3, 0, 2}, {0, 2, 3},
+	}
+	tree, err := Kruskal(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 3 {
+		t.Fatalf("tree has %d edges, want 3", len(tree))
+	}
+	if w := TotalWeight(tree); w != 4 {
+		t.Errorf("MST weight = %d, want 4", w)
+	}
+}
+
+func TestKruskalPaperFigure4(t *testing.T) {
+	// The statement A=B+C+D+E from Figure 3/4: nodes laid out on an 8-wide
+	// mesh so we can encode the paper's positions. Using vertex indices
+	// 0=A, 1=B, 2=C, 3=D, 4=E with the paper's pairwise distances, the MST
+	// weight must equal the optimized movement count of 8.
+	dist := [][]int{
+		// A  B  C  D  E
+		{0, 2, 5, 3, 3}, // A
+		{2, 0, 5, 5, 1}, // B
+		{5, 5, 0, 2, 6}, // C
+		{3, 5, 2, 0, 6}, // D
+		{3, 1, 6, 6, 0}, // E
+	}
+	edges := CompleteGraph(5, func(i, j int) int { return dist[i][j] })
+	tree, err := Kruskal(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := TotalWeight(tree); w != 8 {
+		t.Errorf("paper example MST weight = %d, want 8", w)
+	}
+}
+
+func TestKruskalRejectsOutOfRange(t *testing.T) {
+	if _, err := Kruskal(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := Kruskal(2, []Edge{{-1, 0, 1}}); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestKruskalIgnoresSelfLoops(t *testing.T) {
+	tree, err := Kruskal(2, []Edge{{0, 0, 0}, {0, 1, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 1 || tree[0].Weight != 7 {
+		t.Errorf("tree = %v", tree)
+	}
+}
+
+func TestKruskalDeterministicUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := CompleteGraph(8, func(i, j int) int { return (i*j)%4 + 1 })
+	ref, err := Kruskal(8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]Edge, len(base))
+		copy(shuffled, base)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Also randomly flip orientations.
+		for i := range shuffled {
+			if rng.Intn(2) == 0 {
+				shuffled[i].A, shuffled[i].B = shuffled[i].B, shuffled[i].A
+			}
+		}
+		got, err := Kruskal(8, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d edges vs %d", trial, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: edge %d = %v, want %v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Property: Kruskal's result weight matches brute force over all spanning
+// trees for small random graphs.
+func TestKruskalOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 vertices
+		edges := CompleteGraph(n, func(i, j int) int { return 1 + rng.Intn(9) })
+		tree, err := Kruskal(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TotalWeight(tree)
+		want := bruteForceMST(n, edges)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Kruskal weight %d, brute force %d", trial, n, got, want)
+		}
+	}
+}
+
+// bruteForceMST enumerates all subsets of edges of size n-1 and returns the
+// minimum weight of one forming a spanning tree.
+func bruteForceMST(n int, edges []Edge) int {
+	best := -1
+	m := len(edges)
+	var rec func(start, count, weight int, uf *UnionFind, chosen []Edge)
+	rec = func(start, count, weight int, _ *UnionFind, chosen []Edge) {
+		if count == n-1 {
+			uf := NewUnionFind(n)
+			for _, e := range chosen {
+				uf.Union(e.A, e.B)
+			}
+			if uf.Sets() == 1 && (best == -1 || weight < best) {
+				best = weight
+			}
+			return
+		}
+		for i := start; i < m; i++ {
+			rec(i+1, count+1, weight+edges[i].Weight, nil, append(chosen, edges[i]))
+		}
+	}
+	rec(0, 0, 0, nil, nil)
+	return best
+}
+
+func TestCompleteGraphSize(t *testing.T) {
+	g := CompleteGraph(5, func(i, j int) int { return 1 })
+	if len(g) != 10 {
+		t.Errorf("complete graph on 5 vertices has %d edges, want 10", len(g))
+	}
+}
+
+func TestTreeTraversal(t *testing.T) {
+	// Star with center 0 plus a tail: 1-0, 2-0, 0-3, 3-4.
+	tree := NewTree(5, []Edge{{0, 1, 1}, {0, 2, 2}, {0, 3, 1}, {3, 4, 5}})
+	if tree.Degree(0) != 3 || tree.Degree(4) != 1 {
+		t.Errorf("degrees: %d, %d", tree.Degree(0), tree.Degree(4))
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 3 || leaves[0] != 1 || leaves[1] != 2 || leaves[2] != 4 {
+		t.Errorf("Leaves = %v", leaves)
+	}
+	if w, ok := tree.EdgeWeight(3, 4); !ok || w != 5 {
+		t.Errorf("EdgeWeight(3,4) = %d,%v", w, ok)
+	}
+	if _, ok := tree.EdgeWeight(1, 2); ok {
+		t.Error("nonexistent edge reported present")
+	}
+
+	r := tree.RootAt(4)
+	if r.Parent[4] != -1 || r.Parent[3] != 4 || r.Parent[0] != 3 || r.Parent[1] != 0 {
+		t.Errorf("Parent = %v", r.Parent)
+	}
+	post := r.PostOrder()
+	if post[len(post)-1] != 4 {
+		t.Errorf("post-order must end at root, got %v", post)
+	}
+	pos := make(map[int]int)
+	for i, v := range post {
+		pos[v] = i
+	}
+	for v, p := range r.Parent {
+		if p >= 0 && pos[v] > pos[p] {
+			t.Errorf("child %d appears after parent %d in post-order %v", v, p, post)
+		}
+	}
+}
+
+func TestRootedReachable(t *testing.T) {
+	// Forest: 0-1 and isolated 2.
+	tree := NewTree(3, []Edge{{0, 1, 1}})
+	r := tree.RootAt(0)
+	if !r.Reachable(0) || !r.Reachable(1) {
+		t.Error("connected vertices not reachable")
+	}
+	if r.Reachable(2) {
+		t.Error("isolated vertex reported reachable")
+	}
+}

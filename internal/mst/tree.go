@@ -1,0 +1,132 @@
+package mst
+
+import "sort"
+
+// Tree is an undirected spanning tree (or forest) built from MST edges,
+// offering the traversal queries the subcomputation scheduler needs: leaf
+// enumeration and rooting at the store node.
+type Tree struct {
+	n   int
+	adj [][]adjEntry
+}
+
+type adjEntry struct {
+	to     int
+	weight int
+}
+
+// NewTree builds a tree over n vertices from the given edges. Neighbor lists
+// are kept sorted for deterministic traversal.
+func NewTree(n int, edges []Edge) *Tree {
+	t := &Tree{n: n, adj: make([][]adjEntry, n)}
+	for _, e := range edges {
+		t.adj[e.A] = append(t.adj[e.A], adjEntry{to: e.B, weight: e.Weight})
+		t.adj[e.B] = append(t.adj[e.B], adjEntry{to: e.A, weight: e.Weight})
+	}
+	for _, l := range t.adj {
+		sort.Slice(l, func(i, j int) bool { return l[i].to < l[j].to })
+	}
+	return t
+}
+
+// Len returns the number of vertices.
+func (t *Tree) Len() int { return t.n }
+
+// Degree returns the number of tree edges incident to v.
+func (t *Tree) Degree(v int) int { return len(t.adj[v]) }
+
+// Neighbors returns v's neighbors in ascending order.
+func (t *Tree) Neighbors(v int) []int {
+	out := make([]int, len(t.adj[v]))
+	for i, e := range t.adj[v] {
+		out[i] = e.to
+	}
+	return out
+}
+
+// EdgeWeight returns the weight of the tree edge (a, b) and whether the edge
+// exists.
+func (t *Tree) EdgeWeight(a, b int) (int, bool) {
+	for _, e := range t.adj[a] {
+		if e.to == b {
+			return e.weight, true
+		}
+	}
+	return 0, false
+}
+
+// Leaves returns all vertices of degree one, ascending.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for v := 0; v < t.n; v++ {
+		if len(t.adj[v]) == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Rooted is a tree oriented toward a chosen root. Parent[root] == -1;
+// vertices disconnected from the root also have Parent -1 and appear in no
+// Children list.
+type Rooted struct {
+	Root     int
+	Parent   []int
+	Children [][]int
+	order    []int // DFS preorder from root, for PostOrder computation
+}
+
+// RootAt orients the tree toward root using an iterative DFS with
+// deterministic (ascending) neighbor order.
+func (t *Tree) RootAt(root int) *Rooted {
+	r := &Rooted{
+		Root:     root,
+		Parent:   make([]int, t.n),
+		Children: make([][]int, t.n),
+	}
+	for i := range r.Parent {
+		r.Parent[i] = -1
+	}
+	visited := make([]bool, t.n)
+	stack := []int{root}
+	visited[root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r.order = append(r.order, v)
+		// Push in reverse so ascending neighbors are visited first.
+		for i := len(t.adj[v]) - 1; i >= 0; i-- {
+			w := t.adj[v][i].to
+			if !visited[w] {
+				visited[w] = true
+				r.Parent[w] = v
+				r.Children[v] = append(r.Children[v], w)
+				stack = append(stack, w)
+			}
+		}
+		sort.Ints(r.Children[v])
+	}
+	return r
+}
+
+// PostOrder returns the vertices reachable from the root in an order where
+// every child precedes its parent — exactly the order in which
+// subcomputations must execute so that each MST edge is traversed once,
+// leaves first (Section 4.3).
+func (r *Rooted) PostOrder() []int {
+	post := make([]int, 0, len(r.order))
+	var visit func(v int)
+	visit = func(v int) {
+		for _, c := range r.Children[v] {
+			visit(c)
+		}
+		post = append(post, v)
+	}
+	visit(r.Root)
+	return post
+}
+
+// Reachable reports whether v is connected to the root.
+func (r *Rooted) Reachable(v int) bool {
+	return v == r.Root || r.Parent[v] != -1
+}

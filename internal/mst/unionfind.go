@@ -1,0 +1,58 @@
+// Package mst provides disjoint-set union-find, Kruskal's minimum spanning
+// tree algorithm, and spanning-tree traversal helpers. The paper formulates
+// data-movement minimization for a program statement as an MST problem over
+// the mesh nodes holding the statement's operands (Section 3.2) and solves it
+// with Kruskal's algorithm; this package is that solver.
+package mst
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets labeled 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// happened (false when they were already in the same set).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }

@@ -1,0 +1,159 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses: geometric means (the paper reports geomeans), reductions, and
+// fixed-width table rendering for reproducing the paper's tables and figure
+// series as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs. Non-positive entries are clamped
+// to a tiny epsilon so a single zero (e.g. a 0% improvement) does not
+// annihilate the mean; empty input returns 0.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	s := 0.0
+	for _, x := range xs {
+		if x < eps {
+			x = eps
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeomeanReduction returns the fractional reduction implied by the geometric
+// mean of the per-pair speedups base[i]/optimized[i]: 1 - 1/geomean(ratios).
+// Unlike Geomean over reductions, it handles negative individual reductions
+// (slowdowns) correctly, which is how the paper aggregates execution times.
+func GeomeanReduction(base, optimized []float64) float64 {
+	if len(base) == 0 || len(base) != len(optimized) {
+		return 0
+	}
+	ratios := make([]float64, len(base))
+	for i := range base {
+		if optimized[i] <= 0 {
+			return 0
+		}
+		ratios[i] = base[i] / optimized[i]
+	}
+	g := Geomean(ratios)
+	if g == 0 {
+		return 0
+	}
+	return 1 - 1/g
+}
+
+// Reduction returns the fractional reduction of optimized relative to base:
+// (base - optimized) / base. Zero base yields 0.
+func Reduction(base, optimized float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - optimized) / base
+}
+
+// Pct formats a fraction as a percentage with one decimal ("18.4%").
+func Pct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+// Table renders rows as a fixed-width text table with a header and a
+// separator line, right-aligning numeric-looking cells.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for i, w := range width {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("Geomean(nil) != 0")
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	// A zero entry must not annihilate the mean.
+	if got := Geomean([]float64{0, 4}); got <= 0 {
+		t.Errorf("Geomean with zero = %v", got)
+	}
+}
+
+func TestGeomeanLeqMeanProperty(t *testing.T) {
+	// AM-GM inequality for positive values.
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return Geomean(xs) <= Mean(xs)+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(nil) != 0 {
+		t.Error("Max(nil) != 0")
+	}
+	if got := Max([]float64{3, -1, 7, 2}); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Max([]float64{-5, -3}); got != -3 {
+		t.Errorf("Max of negatives = %v", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 80); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Reduction = %v", got)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.184); got != "18.4%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := &Table{Header: []string{"App", "Value"}}
+	tbl.Add("Barnes", 1.5)
+	tbl.Add("LU", "90.7%")
+	out := tbl.String()
+	if !strings.Contains(out, "Barnes") || !strings.Contains(out, "1.50") || !strings.Contains(out, "90.7%") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("no separator line: %q", lines[1])
+	}
+}
+
+func TestGeomeanReduction(t *testing.T) {
+	// Uniform 2x speedup -> 50% reduction.
+	base := []float64{100, 200, 400}
+	opt := []float64{50, 100, 200}
+	if got := GeomeanReduction(base, opt); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("GeomeanReduction = %v, want 0.5", got)
+	}
+	// A slowdown entry pulls the geomean down but must not blow up.
+	mixed := GeomeanReduction([]float64{100, 100}, []float64{50, 200})
+	if mixed <= -1 || mixed >= 1 {
+		t.Errorf("mixed reduction = %v", mixed)
+	}
+	if GeomeanReduction(nil, nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	if GeomeanReduction([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+	if GeomeanReduction([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero optimized should yield 0")
+	}
+}
+
+// Property: GeomeanReduction of identical slices is 0, and scaling optimized
+// down always increases the reduction.
+func TestGeomeanReductionMonotonic(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		base := make([]float64, len(raw))
+		opt := make([]float64, len(raw))
+		faster := make([]float64, len(raw))
+		for i, r := range raw {
+			base[i] = float64(r) + 1
+			opt[i] = base[i]
+			faster[i] = base[i] / 2
+		}
+		same := GeomeanReduction(base, opt)
+		better := GeomeanReduction(base, faster)
+		return math.Abs(same) < 1e-9 && better > same
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package pipeline
+
+import "testing"
+
+func testKernel() Kernel {
+	return Kernel{
+		Name:       "test",
+		Statements: "A(8*i) = B(8*i)+C(16*i)+D(8*i+64)+E(24*i)\nX(8*i) = Y(8*i)+C(16*i)",
+		Iterations: 64,
+		Sweeps:     2,
+		ArrayLen:   1 << 13,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	rep, err := Run(testKernel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowSize < 1 || rep.WindowSize > 8 {
+		t.Errorf("window = %d", rep.WindowSize)
+	}
+	if rep.MovementReduction() <= 0 {
+		t.Errorf("movement reduction = %v, want > 0", rep.MovementReduction())
+	}
+	if rep.Speedup() <= 0 {
+		t.Errorf("speedup = %v", rep.Speedup())
+	}
+	if rep.Tasks == 0 {
+		t.Error("no tasks emitted")
+	}
+	if rep.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunRejectsBadKernels(t *testing.T) {
+	bad := []Kernel{
+		{Name: "noiter", Statements: "A(i) = B(i)", Iterations: 0},
+		{Name: "empty", Statements: "", Iterations: 8},
+		{Name: "syntax", Statements: "A(i) == B(i)", Iterations: 8},
+	}
+	for _, k := range bad {
+		if _, err := Run(k, DefaultConfig()); err == nil {
+			t.Errorf("kernel %q accepted", k.Name)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	k := testKernel()
+	cfg := DefaultConfig()
+	cfg.ClusterMode = "torus"
+	if _, err := Run(k, cfg); err == nil {
+		t.Error("unknown cluster mode accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MemoryMode = "wrong"
+	if _, err := Run(k, cfg); err == nil {
+		t.Error("unknown memory mode accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MeshCols, cfg.MeshRows = 1, 1
+	if _, err := Run(k, cfg); err == nil {
+		t.Error("degenerate mesh accepted")
+	}
+}
+
+func TestRunClusterAndMemoryModes(t *testing.T) {
+	for _, cm := range []string{"all-to-all", "quadrant", "snc-4"} {
+		for _, mm := range []string{"flat", "cache", "hybrid"} {
+			cfg := DefaultConfig()
+			cfg.ClusterMode = cm
+			cfg.MemoryMode = mm
+			k := testKernel()
+			k.Iterations = 24
+			if _, err := Run(k, cfg); err != nil {
+				t.Errorf("(%s, %s): %v", cm, mm, err)
+			}
+		}
+	}
+}
+
+func TestRunFixedWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FixedWindow = 2
+	rep, err := Run(testKernel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowSize != 2 {
+		t.Errorf("window = %d, want 2", rep.WindowSize)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(testKernel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testKernel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OptimizedCycles != b.OptimizedCycles || a.OptimizedMovement != b.OptimizedMovement {
+		t.Error("Run not deterministic")
+	}
+}
+
+func TestRunIndirectKernel(t *testing.T) {
+	k := Kernel{
+		Name:       "scatter",
+		Statements: "X(8*i) = B(8*i)\nZ(8*i) = X(Y(8*i))+B(8*i)",
+		Iterations: 48,
+		ArrayLen:   1 << 12,
+	}
+	rep, err := Run(k, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedInspector {
+		t.Error("inspector not used for may-dependent kernel")
+	}
+	if rep.AnalyzableFraction >= 1 {
+		t.Errorf("analyzable = %v", rep.AnalyzableFraction)
+	}
+}
+
+func TestVerifySemantics(t *testing.T) {
+	for _, k := range []Kernel{
+		testKernel(),
+		{Name: "parens", Statements: "A(i) = B(i)*(C(i)+D(i)+E(i))", Iterations: 32, ArrayLen: 512},
+		{Name: "indirect", Statements: "A(i) = X(Y(i))+B(i)", Iterations: 32, ArrayLen: 512},
+		{Name: "recurrence", Statements: "A(i) = A(i-1)+B(i)", Iterations: 32, ArrayLen: 512},
+	} {
+		ok, err := Verify(k, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if !ok {
+			t.Errorf("%s: optimized execution order changed results", k.Name)
+		}
+	}
+}
+
+func TestIdealAnalysisMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdealAnalysis = true
+	rep, err := Run(testKernel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PredictorAccuracy != 0 {
+		t.Errorf("ideal analysis should bypass the predictor, accuracy = %v", rep.PredictorAccuracy)
+	}
+}
+
+func TestAnalyzeDeps(t *testing.T) {
+	k := Kernel{
+		Name:       "deps",
+		Statements: "A(i) = B(i)+C(i)\nD(i) = A(i)+A(i-1)",
+		Iterations: 16,
+		ArrayLen:   256,
+	}
+	lines, err := AnalyzeDeps(k, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFlow := false
+	for _, l := range lines {
+		if l == "flow dep S1 -> S2 on A (same-iteration)" {
+			foundFlow = true
+		}
+	}
+	if !foundFlow {
+		t.Errorf("same-iteration flow dep missing from %v", lines)
+	}
+
+	// A disprovable pair must be filtered by the exact tests.
+	k2 := Kernel{
+		Name:       "parity",
+		Statements: "A(2*i) = B(i)\nC(i) = A(2*i+1)",
+		Iterations: 16,
+		ArrayLen:   256,
+	}
+	lines2, err := AnalyzeDeps(k2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines2 {
+		if l == "flow dep S1 -> S2 on A (loop-carried)" {
+			t.Errorf("GCD-refutable dep survived: %v", lines2)
+		}
+	}
+}
+
+func TestAnalyzeDepsMayDeps(t *testing.T) {
+	k := Kernel{
+		Name:       "may",
+		Statements: "X(i) = B(i)\nZ(i) = X(Y(i))",
+		Iterations: 16,
+		ArrayLen:   256,
+	}
+	lines, err := AnalyzeDeps(k, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := false
+	for _, l := range lines {
+		if l == "may-dependences present: inspector-executor will run" {
+			note = true
+		}
+	}
+	if !note {
+		t.Errorf("inspector note missing: %v", lines)
+	}
+}
+
+func TestEmitCode(t *testing.T) {
+	k := testKernel()
+	k.Iterations = 8
+	k.Sweeps = 1
+	code, err := EmitCode(k, DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"node ", "combine(", "tasks over"} {
+		if !contains(code, want) {
+			t.Errorf("emitted code missing %q", want)
+		}
+	}
+	if _, err := EmitCode(Kernel{Name: "bad", Statements: "(", Iterations: 1}, DefaultConfig(), 0); err == nil {
+		t.Error("bad kernel accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
