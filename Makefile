@@ -1,0 +1,34 @@
+# Development targets. `make check` is the pre-PR gate: it must pass before
+# any change ships (see README.md, "Pre-PR gate").
+
+GO ?= go
+FUZZTIME ?= 20s
+
+.PHONY: build test test-short vet race fuzz-smoke verify check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# A bounded run of every native fuzz target, as a smoke test; the committed
+# corpora under internal/*/testdata/fuzz replay on every plain `go test`.
+fuzz-smoke:
+	$(GO) test ./internal/ir/ -fuzz FuzzParseProgram -fuzztime $(FUZZTIME)
+
+# Static schedule race detection over the default kernel, both schedules.
+verify: build
+	$(GO) run ./cmd/dmacp verify -q
+
+check: build vet test race
+	@echo "check: all gates passed"

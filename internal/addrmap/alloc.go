@@ -66,6 +66,18 @@ func (a *Allocator) Translate(va uint64) uint64 {
 // AllocatedPages returns how many physical pages have been handed out.
 func (a *Allocator) AllocatedPages() int { return a.allocated }
 
+// Pages returns a copy of the established VA-page -> PA-page translations.
+// Translation is first-touch-order dependent, so independent passes (the
+// schedule verifier in particular) must replay the emitter's page table
+// rather than allocate their own; this snapshot is what they replay.
+func (a *Allocator) Pages() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(a.pageTable))
+	for vp, pp := range a.pageTable {
+		out[vp] = pp
+	}
+	return out
+}
+
 // HomeBankVA returns the L2 home bank of the datum at virtual address va.
 // Because of page coloring this equals the home bank of the translated
 // physical address; this is exactly the inference the compiler performs.

@@ -67,6 +67,10 @@ type Result struct {
 	L1HitRate float64
 	// ChunkOf records the core assigned to each iteration chunk.
 	ChunkOf []mesh.NodeID
+	// Translations is the VA-page -> PA-page table the emission locator's
+	// allocator established, for the schedule verifier (translation is
+	// first-touch-order dependent and cannot be replayed independently).
+	Translations map[uint64]uint64
 }
 
 // chunkCount controls placement granularity: the iteration space splits into
@@ -169,6 +173,21 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 	sched := &core.Schedule{Instances: iters * len(nest.Body)}
 	res := &Result{Schedule: sched, ChunkOf: chunkOf}
 	lastWriter := make(map[uint64]int)
+	// lastReaders: per line, the most recent task on each node that fetched
+	// it since the line was last written, for anti (WAR) ordering. One reader
+	// per node suffices: earlier same-node readers are implied by the
+	// per-node program order the simulator preserves.
+	lastReaders := make(map[uint64]map[mesh.NodeID]int)
+	addWait := func(t *core.Task, producer int) {
+		for _, p := range t.WaitFor {
+			if p == producer {
+				return
+			}
+		}
+		t.WaitFor = append(t.WaitFor, producer)
+		t.WaitHops = append(t.WaitHops, opts.Mesh.Distance(sched.Tasks[producer].Node, t.Node))
+		sched.SyncsBefore++
+	}
 
 	for it := 0; it < iters; it++ {
 		env := nest.IterationEnv(it)
@@ -228,6 +247,28 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 			movement += opts.Mesh.Distance(node, storeLL.Home)
 			l1[node].Access(storeLL.Line)
 			t.ResultLine = storeLL.Line
+			// Output ordering: the RFO and store of the output line must
+			// follow its previous writer (WAW) and every read issued from
+			// another core since that write (WAR). Same-core predecessors are
+			// ordered by the per-core program order the simulator preserves;
+			// node IDs are scanned in order for deterministic emission.
+			if w, okw := lastWriter[storeLL.Line]; okw && sched.Tasks[w].Node != node {
+				addWait(t, w)
+			}
+			for n := mesh.NodeID(0); int(n) < opts.Mesh.Nodes(); n++ {
+				if r, okr := lastReaders[storeLL.Line][n]; okr && n != node {
+					addWait(t, r)
+				}
+			}
+			// Record this instance's reads, then supersede all readers of the
+			// output line with the store itself.
+			for _, f := range t.Fetches[:len(t.Fetches)-1] {
+				if lastReaders[f.Line] == nil {
+					lastReaders[f.Line] = make(map[mesh.NodeID]int)
+				}
+				lastReaders[f.Line][node] = t.ID
+			}
+			delete(lastReaders, storeLL.Line)
 			lastWriter[storeLL.Line] = t.ID
 			sched.Tasks = append(sched.Tasks, t)
 
@@ -249,6 +290,7 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 		agg.Misses += s.Misses
 	}
 	res.L1HitRate = agg.HitRate()
+	res.Translations = emitLoc.Allocator().Pages()
 	return res, nil
 }
 

@@ -66,6 +66,11 @@ type Result struct {
 	// LineLabels names each cache line after the first reference that
 	// touched it ("B[24]"); code generation renders schedules with them.
 	LineLabels map[uint64]string
+	// Translations is the VA-page -> PA-page table the chosen pass's
+	// page-colored allocator established. Address translation is
+	// first-touch-order dependent, so any independent pass that needs the
+	// schedule's line addresses (the verifier) must replay this table.
+	Translations map[uint64]uint64
 }
 
 // Partition runs the full NDP-aware partitioning pipeline of Algorithm 1 on
@@ -121,6 +126,12 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 	res.PredictorAccuracy = best.predAccuracy
 	res.OffloadMix = best.offloadMix
 	res.LineLabels = best.labels
+	res.Translations = best.translations
+	if opts.Verify != nil {
+		if err := opts.Verify(prog, nest, store, &opts, res); err != nil {
+			return nil, fmt.Errorf("core: schedule verification: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -133,6 +144,7 @@ type passResult struct {
 	predAccuracy float64
 	offloadMix   map[ir.OpClass]int
 	labels       map[uint64]string
+	translations map[uint64]uint64
 }
 
 // runPass performs one complete scheduling pass over the nest with a fixed
@@ -165,6 +177,11 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 	// lastWriter: most recent root task writing a line, for inter-statement
 	// flow dependences.
 	lastWriter := make(map[uint64]int)
+	// lastReaders: per line, the most recent task on each node that fetched
+	// it since the line was last written, for inter-statement anti (WAR)
+	// dependences. Earlier same-node readers are implied by per-node program
+	// order, so one reader per node suffices.
+	lastReaders := make(map[uint64]map[mesh.NodeID]int)
 
 	body := nest.Body
 	m := len(body)
@@ -243,6 +260,19 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 				}
 			}
 		}
+		// Inter-statement anti dependences (WAR): the root's store must not
+		// overtake earlier reads of the output line issued from other nodes.
+		// Same-node readers are already ordered by the per-node program order
+		// the simulator and codegen preserve, so they need no arc; node IDs
+		// are scanned in order to keep emission deterministic.
+		if readers := lastReaders[storeLoc.Line]; len(readers) > 0 {
+			for n := mesh.NodeID(0); int(n) < passOpts.Mesh.Nodes(); n++ {
+				if r, ok := readers[n]; ok && n != root.Node {
+					root.addWait(r, passOpts.Mesh.Distance(n, root.Node))
+					sched.SyncsBefore++
+				}
+			}
+		}
 		root.ResultLine = storeLoc.Line
 		lastWriter[storeLoc.Line] = root.ID
 
@@ -263,8 +293,17 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 				}
 				l1[task.Node].Access(f.Line)
 				varMap[f.Line] = appendNode(varMap[f.Line], task.Node)
+				if lastReaders[f.Line] == nil {
+					lastReaders[f.Line] = make(map[mesh.NodeID]int)
+				}
+				lastReaders[f.Line][task.Node] = task.ID
 			}
 		}
+		// The store supersedes all recorded readers of the output line: this
+		// instance's own reads happen before its root's write (tree arcs plus
+		// per-node order guarantee it), and later writers are ordered against
+		// the root through lastWriter.
+		delete(lastReaders, storeLoc.Line)
 		l1[storeLoc.Home].Access(storeLoc.Line)
 		varMap[storeLoc.Line] = appendNode(varMap[storeLoc.Line], storeLoc.Home)
 
@@ -289,8 +328,8 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		}
 	}
 
-	dedupeWaits(sched.Tasks)
-	removed := reduceSyncs(sched.Tasks)
+	DedupeWaits(sched.Tasks)
+	removed := ReduceSyncs(sched.Tasks)
 	sched.SyncsAfter = sched.SyncsBefore - removed
 	if sched.SyncsAfter < 0 {
 		sched.SyncsAfter = 0
@@ -312,12 +351,13 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 	stats.Imbalance = lt.Imbalance()
 
 	pr := &passResult{
-		window:     window,
-		schedule:   sched,
-		stats:      stats,
-		analyzable: loc.AnalyzableFraction(),
-		offloadMix: offload,
-		labels:     loc.LineLabels(),
+		window:       window,
+		schedule:     sched,
+		stats:        stats,
+		analyzable:   loc.AnalyzableFraction(),
+		offloadMix:   offload,
+		labels:       loc.LineLabels(),
+		translations: loc.Allocator().Pages(),
 	}
 	if passOpts.Predictor != nil {
 		pr.predAccuracy = passOpts.Predictor.Accuracy()

@@ -67,7 +67,7 @@ func TestDedupeWaits(t *testing.T) {
 		{ID: 1},
 		{ID: 2, WaitFor: []int{0, 1, 0, 1, 0}, WaitHops: []int{1, 2, 1, 2, 1}},
 	}
-	removed := dedupeWaits(tasks)
+	removed := DedupeWaits(tasks)
 	if removed != 3 {
 		t.Errorf("removed = %d, want 3", removed)
 	}
@@ -86,7 +86,7 @@ func TestReduceSyncsDropsImpliedArc(t *testing.T) {
 		{ID: 1, WaitFor: []int{0}, WaitHops: []int{1}},
 		{ID: 2, WaitFor: []int{1, 0}, WaitHops: []int{1, 2}},
 	}
-	removed := reduceSyncs(tasks)
+	removed := ReduceSyncs(tasks)
 	if removed != 1 {
 		t.Fatalf("removed = %d, want 1", removed)
 	}
@@ -104,7 +104,7 @@ func TestReduceSyncsKeepsIndependentArcs(t *testing.T) {
 		{ID: 2, WaitFor: []int{0}, WaitHops: []int{1}},
 		{ID: 3, WaitFor: []int{1, 2}, WaitHops: []int{1, 1}},
 	}
-	if removed := reduceSyncs(tasks); removed != 0 {
+	if removed := ReduceSyncs(tasks); removed != 0 {
 		t.Errorf("removed = %d, want 0", removed)
 	}
 	if len(tasks[3].WaitFor) != 2 {
@@ -120,7 +120,7 @@ func TestReduceSyncsPreservesOrder(t *testing.T) {
 		{ID: 1, WaitFor: []int{0}, WaitHops: []int{0}},
 		{ID: 2, WaitFor: []int{0, 1}, WaitHops: []int{0, 0}},
 	}
-	reduceSyncs(tasks)
+	ReduceSyncs(tasks)
 	// 0 must still be reachable from 2 through 1.
 	reach := map[int]bool{2: true}
 	changed := true

@@ -1,6 +1,6 @@
 package core
 
-// reduceSyncs performs the transitive-closure-based synchronization
+// ReduceSyncs performs the transitive-closure-based synchronization
 // minimization of Section 4.5: a synchronization arc a -> b is redundant
 // when b is already ordered after a through a chain of other arcs. Following
 // the scheme's spirit (and keeping the pass linear in the number of arcs),
@@ -9,11 +9,12 @@ package core
 // at a parent that is itself awaited, and dependence arcs duplicating tree
 // paths).
 //
-// Removing an implied arc never changes the partial order of the task DAG,
-// so the simulator's execution remains correct; it only avoids charging the
+// Removing an implied arc never changes the partial order of the task DAG
+// (verify.Closure cross-checks this property in the core tests), so the
+// simulator's execution remains correct; it only avoids charging the
 // handshake twice. The function rewrites each task's WaitFor/WaitHops in
 // place and returns the number of arcs removed.
-func reduceSyncs(tasks []*Task) int {
+func ReduceSyncs(tasks []*Task) int {
 	removed := 0
 	for _, t := range tasks {
 		if len(t.WaitFor) < 2 {
@@ -45,9 +46,9 @@ func reduceSyncs(tasks []*Task) int {
 	return removed
 }
 
-// dedupeWaits drops duplicate producer arcs on each task (the same producer
+// DedupeWaits drops duplicate producer arcs on each task (the same producer
 // registered through both a tree edge and a dependence), keeping the first.
-func dedupeWaits(tasks []*Task) int {
+func DedupeWaits(tasks []*Task) int {
 	removed := 0
 	for _, t := range tasks {
 		if len(t.WaitFor) < 2 {

@@ -24,7 +24,7 @@ func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
 	}
 	type instKey struct{ iter, stmt int }
 	roots := make(map[instKey]int)
-	lastInst := -1
+	lastIter, lastStmt := -1, -1
 	for i, t := range s.Tasks {
 		if t.ID != i {
 			return fmt.Errorf("core: task %d has ID %d (want dense ascending)", i, t.ID)
@@ -56,12 +56,13 @@ func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
 			}
 			roots[k] = i
 		}
-		// Instances appear in execution order (non-decreasing).
-		if inst := t.Iter*1_000_000 + t.Stmt; inst < lastInst {
+		// Instances appear in execution order (non-decreasing), compared
+		// lexicographically on (Iter, Stmt) so arbitrary iteration counts
+		// cannot collide or overflow.
+		if t.Iter < lastIter || (t.Iter == lastIter && t.Stmt < lastStmt) {
 			return fmt.Errorf("core: task %d out of instance order", i)
-		} else {
-			lastInst = inst
 		}
+		lastIter, lastStmt = t.Iter, t.Stmt
 	}
 	if s.Instances > 0 && len(roots) != s.Instances {
 		return fmt.Errorf("core: %d roots for %d instances", len(roots), s.Instances)

@@ -12,6 +12,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -102,9 +103,11 @@ type Num struct {
 	Val float64
 }
 
-// String formats the literal.
+// String formats the literal. The statement lexer only accepts digit/dot
+// number tokens (no exponent notation), so render with 'f' formatting to
+// keep every literal round-trippable through the parser.
 func (n *Num) String() string {
-	return strings.TrimSuffix(strings.TrimSuffix(fmt.Sprintf("%g", n.Val), ".0"), ".")
+	return strings.TrimSuffix(strconv.FormatFloat(n.Val, 'f', -1, 64), ".0")
 }
 
 // Refs implements Expr.

@@ -1,0 +1,77 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProgram feeds arbitrary source to the statement parser and, when
+// it accepts the input, pushes the parsed body through the downstream
+// consumers that trust the parser's invariants: String round-tripping,
+// reference collection, subscript affine analysis, operation counting, and
+// nest-level dependence analysis. The parser must never panic, and every
+// accepted program must re-parse from its own String() rendering.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"A(i) = B(i)+C(i)",
+		"A(8*i) = B(8*i)+C(16*i)+D(8*i+64)+E(24*i)\nX(8*i) = Y(8*i)+C(16*i)",
+		"S(0) = S(0)+A(i)",
+		"A(i+1) = A(i)-B(2*i)",
+		"A(IX(i)) = B(IX(2*i+1))*C(i)",
+		"PSI(8*i-1024) = PSI(8*i)/Q(i)",
+		"A(i) = (B(i)+C(i))*(D(i)-E(i))",
+		"a(i)=b(i); c(i) = a(i)",
+		"A(i) = 3",
+		"A(i) = B(C(D(i)))",
+		"  A ( i ) =  B ( i )  ",
+		"A(i) == B(i)",
+		"A(i) = ",
+		"= B(i)",
+		"A(i) = B(i)+",
+		"A(i) = B(i))",
+		"A(i) = B((i)",
+		"A() = B()",
+		"A(i) = B(i) # trailing",
+		"\x00\xff",
+		strings.Repeat("A(i) = B(i)\n", 40),
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		body, err := ParseStatements(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, s := range body {
+			// String() must render something the parser accepts back to an
+			// equivalent statement.
+			round, err := ParseStatement(s.String())
+			if err != nil {
+				t.Fatalf("round-trip parse of %q failed: %v", s.String(), err)
+			}
+			if got, want := round.String(), s.String(); got != want {
+				t.Fatalf("round-trip not stable: %q -> %q", want, got)
+			}
+			// Downstream consumers must tolerate anything the parser accepts.
+			for _, r := range s.AllRefs() {
+				_ = r.Indirect()
+				if aff, ok := SubscriptOf(r); ok {
+					_ = aff.Eval(map[string]int{"i": 1, "t": 0})
+					_ = aff.String()
+				}
+			}
+			_ = s.OpCount(1)
+			_ = s.OpMix()
+			_ = NestedSets(s.RHS).Leaves(nil)
+		}
+		nest := &Nest{
+			Name:  "fuzz",
+			Loops: []Loop{{Var: "i", Lower: 0, Upper: 4, Step: 1}},
+			Body:  body,
+		}
+		_ = DependencesIn(nest)
+		_ = HasMayDeps(body)
+	})
+}

@@ -1,0 +1,124 @@
+package verify
+
+import "dmacp/internal/core"
+
+// Closure is a happens-before relation over a task DAG, stored as one
+// ancestor bitset per task: bit a of row b is set exactly when task a is
+// ordered strictly before task b. With dense task IDs the closure costs
+// n*n/64 words, which is what makes whole-schedule verification tractable
+// (a 4k-task nest fits in 2 MB).
+type Closure struct {
+	n     int
+	words int
+	bits  []uint64
+}
+
+// BuildClosure computes the reachability closure of the tasks under the
+// union of their WaitFor arcs and — when sameNodeOrder is set — the per-node
+// program order (tasks placed on one node execute in ID order; both the
+// simulator and the generated per-node programs serialize them that way).
+//
+// The graph is processed with Kahn's algorithm rather than by trusting the
+// IDs, so corrupted schedules are handled: when the wait graph contains a
+// cycle the closure is nil and the second result lists the (capped) IDs of
+// tasks stuck on or behind the cycle — the tasks that would deadlock.
+func BuildClosure(tasks []*core.Task, sameNodeOrder bool) (*Closure, []int) {
+	n := len(tasks)
+	preds := make([][]int, n)
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(from, to int) {
+		preds[to] = append(preds[to], from)
+		succs[from] = append(succs[from], to)
+		indeg[to]++
+	}
+	for i, t := range tasks {
+		for _, p := range t.WaitFor {
+			if p >= 0 && p < n && p != i {
+				addEdge(p, i)
+			}
+		}
+	}
+	if sameNodeOrder {
+		lastOn := make(map[int]int)
+		for i, t := range tasks {
+			if prev, ok := lastOn[int(t.Node)]; ok {
+				addEdge(prev, i)
+			}
+			lastOn[int(t.Node)] = i
+		}
+	}
+
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range succs[v] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		const maxListed = 16
+		var stuck []int
+		for i := 0; i < n && len(stuck) < maxListed; i++ {
+			if indeg[i] > 0 {
+				stuck = append(stuck, i)
+			}
+		}
+		return nil, stuck
+	}
+
+	words := (n + 63) / 64
+	c := &Closure{n: n, words: words, bits: make([]uint64, n*words)}
+	for _, v := range order {
+		row := c.bits[v*words : (v+1)*words]
+		for _, p := range preds[v] {
+			prow := c.bits[p*words : (p+1)*words]
+			for w := range row {
+				row[w] |= prow[w]
+			}
+			row[p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	return c, nil
+}
+
+// Ordered reports whether task a happens before task b (or a == b). It is
+// the query the race checks reduce to: a dependence w -> r is preserved
+// exactly when Ordered(w, r).
+func (c *Closure) Ordered(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a < 0 || b < 0 || a >= c.n || b >= c.n {
+		return false
+	}
+	return c.bits[b*c.words+a/64]&(1<<(uint(a)%64)) != 0
+}
+
+// Len returns the number of tasks the closure covers.
+func (c *Closure) Len() int { return c.n }
+
+// Equal reports whether two closures describe the identical partial order.
+// The ReduceSyncs tests use it to prove arc elimination never changes task
+// ordering.
+func (c *Closure) Equal(o *Closure) bool {
+	if o == nil || c.n != o.n {
+		return false
+	}
+	for i, w := range c.bits {
+		if w != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,6 +26,7 @@ import (
 	"dmacp/internal/mesh"
 	"dmacp/internal/predictor"
 	"dmacp/internal/sim"
+	"dmacp/internal/verify"
 )
 
 // Kernel describes one loop nest in the statement language. Statements are
@@ -347,6 +348,70 @@ func EmitCode(k Kernel, cfg Config, maxTasksPerNode int) (string, error) {
 		return "", err
 	}
 	return buf.String(), nil
+}
+
+// ScheduleCheck is the outcome of statically verifying one emitted schedule
+// with the dependence-preservation verifier (internal/verify): whether every
+// RAW/WAR/WAW dependence between statement instances is ordered by the task
+// DAG, plus the formatted findings.
+type ScheduleCheck struct {
+	// Schedule names the verified schedule: "optimized" (the partitioner's)
+	// or "default" (the locality-optimized baseline placement).
+	Schedule string
+	// Clean is true when no dependence violation was found.
+	Clean bool
+	// Summary is the one-line counters (tasks, instances, pairs checked,
+	// violations, warnings, redundant arcs).
+	Summary string
+	// Diagnostics holds one formatted line per retained finding, violations
+	// first; each race names the two statement instances, their tasks and
+	// mesh nodes, and the contended line.
+	Diagnostics []string
+}
+
+// CheckSchedules builds the kernel, emits both the partitioner's optimized
+// schedule and the default placement, and runs the static schedule race
+// detector over each. A non-Clean result means the named schedule can
+// reorder a data dependence — the returned diagnostics are concrete
+// counterexamples.
+func CheckSchedules(k Kernel, cfg Config) ([]ScheduleCheck, error) {
+	prog, nest, store, opts, _, err := build(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.Partition(prog, nest, store, opts)
+	if err != nil {
+		return nil, err
+	}
+	def, err := baseline.Place(prog, nest, store, opts, baseline.ProfiledLocality)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScheduleCheck
+	check := func(name string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string) error {
+		rep, err := verify.Check(verify.Input{
+			Prog: prog, Nest: nest, Store: store,
+			Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
+			Translations: translations, Labels: labels,
+		}, verify.Options{})
+		if err != nil {
+			return fmt.Errorf("pipeline: verifying %s schedule: %w", name, err)
+		}
+		out = append(out, ScheduleCheck{
+			Schedule:    name,
+			Clean:       rep.Clean(),
+			Summary:     rep.Summary(),
+			Diagnostics: rep.Lines(),
+		})
+		return nil
+	}
+	if err := check("optimized", opt.Schedule, opt.Translations, opt.LineLabels); err != nil {
+		return nil, err
+	}
+	if err := check("default", def.Schedule, def.Translations, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AnalyzeDeps runs the static dependence analysis on the kernel's body the

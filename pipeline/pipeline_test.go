@@ -242,3 +242,26 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestCheckSchedulesClean(t *testing.T) {
+	checks, err := CheckSchedules(testKernel(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 2 {
+		t.Fatalf("checks = %d, want 2 (optimized + default)", len(checks))
+	}
+	names := map[string]bool{}
+	for _, c := range checks {
+		names[c.Schedule] = true
+		if !c.Clean {
+			t.Errorf("%s schedule not clean: %s\n%v", c.Schedule, c.Summary, c.Diagnostics)
+		}
+		if c.Summary == "" {
+			t.Errorf("%s: empty summary", c.Schedule)
+		}
+	}
+	if !names["optimized"] || !names["default"] {
+		t.Errorf("schedules named %v, want optimized and default", names)
+	}
+}
