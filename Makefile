@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test test-short vet race fuzz-smoke verify check
+.PHONY: build test test-short vet race fuzz-smoke verify faultsweep check
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,16 @@ race:
 # corpora under internal/*/testdata/fuzz replay on every plain `go test`.
 fuzz-smoke:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseProgram -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/exp/ -run '^FuzzPartition$$' -fuzz FuzzPartition -fuzztime $(FUZZTIME)
 
 # Static schedule race detection over the default kernel, both schedules.
 verify: build
 	$(GO) run ./cmd/dmacp verify -q
 
-check: build vet test race
+# Deterministic seeded fault sweep over all 12 workloads: every repaired
+# schedule must verify clean and movement must degrade monotonically.
+faultsweep:
+	$(GO) test ./internal/exp/ -run TestFaultSweepAllWorkloadsRepairClean -count=1
+
+check: build vet test race faultsweep
 	@echo "check: all gates passed"

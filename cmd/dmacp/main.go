@@ -15,6 +15,20 @@
 // exits non-zero when a schedule is not dependence-preserving.
 //
 //	dmacp verify -stmts "A(i) = B(i)+C(i); B(i) = A(i)" -iters 128
+//
+// With -app the verify subcommand checks the schedules of one of the 12
+// shipped applications (or "all") at an arbitrary scale instead of a kernel:
+//
+//	dmacp verify -app FFT -iters 64 -len 8192
+//
+// The faults subcommand injects dead links, routers and tiles into the mesh,
+// repairs the optimized schedule through the verifier-gated degradation path,
+// and reports the movement and latency cost. It exits non-zero with a
+// diagnostic when the fault set is unrepairable (for example when all four
+// memory-controller corners are killed):
+//
+//	dmacp faults -links 3 -tiles 1 -fseed 7
+//	dmacp faults -kill-tiles "0,5,30,35"   # kills every MC: unrepairable
 package main
 
 import (
@@ -34,6 +48,7 @@ func runVerify(args []string) {
 	fs := flag.NewFlagSet("dmacp verify", flag.ExitOnError)
 	var (
 		stmts   = fs.String("stmts", "A(8*i) = B(8*i)+C(16*i)+D(8*i+64)+E(24*i)\nX(8*i) = Y(8*i)+C(16*i)", "loop body statements (';' or newline separated)")
+		app     = fs.String("app", "", "verify a shipped application instead of -stmts: one of the 12 workload names, or \"all\"")
 		iters   = fs.Int("iters", 256, "iterations of the i loop")
 		sweeps  = fs.Int("sweeps", 1, "outer timestep sweeps")
 		alen    = fs.Int("len", 1<<16, "array length (elements)")
@@ -43,6 +58,108 @@ func runVerify(args []string) {
 		rows    = fs.Int("rows", 6, "mesh rows")
 		seed    = fs.Int64("seed", 1, "deterministic data seed")
 		quiet   = fs.Bool("q", false, "print violations only, no summaries")
+	)
+	fs.Parse(args)
+
+	cfgFor := func() pipeline.Config {
+		cfg := pipeline.DefaultConfig()
+		cfg.ClusterMode = *cluster
+		cfg.FixedWindow = *window
+		cfg.MeshCols, cfg.MeshRows = *cols, *rows
+		return cfg
+	}
+	report := func(checks []pipeline.ScheduleCheck) (failed bool) {
+		for _, c := range checks {
+			if !*quiet {
+				fmt.Printf("%-9s %s\n", c.Schedule+":", c.Summary)
+			}
+			for _, d := range c.Diagnostics {
+				if *quiet && !strings.HasPrefix(d, "violation") {
+					continue
+				}
+				fmt.Printf("  %s\n", d)
+			}
+			if !c.Clean {
+				failed = true
+			}
+		}
+		return failed
+	}
+
+	if *app != "" {
+		apps := []string{*app}
+		if *app == "all" {
+			apps = pipeline.WorkloadNames()
+		}
+		failed := false
+		for _, name := range apps {
+			checks, err := pipeline.CheckAppSchedules(name, *iters, *alen, cfgFor())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmacp verify:", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Printf("-- %s --\n", name)
+			}
+			if report(checks) {
+				failed = true
+			}
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule does not preserve all dependences")
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Println("all schedules preserve every RAW/WAR/WAW dependence ✓")
+		}
+		return
+	}
+
+	k := pipeline.Kernel{
+		Name:       "kernel",
+		Statements: *stmts,
+		Iterations: *iters,
+		Sweeps:     *sweeps,
+		ArrayLen:   *alen,
+		Seed:       *seed,
+	}
+	checks, err := pipeline.CheckSchedules(k, cfgFor())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacp verify:", err)
+		os.Exit(1)
+	}
+	if report(checks) {
+		fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule does not preserve all dependences")
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Println("all schedules preserve every RAW/WAR/WAW dependence ✓")
+	}
+}
+
+// runFaults is the `dmacp faults` subcommand: inject faults, repair the
+// optimized schedule through the verifier-gated path, report the degradation.
+func runFaults(args []string) {
+	fs := flag.NewFlagSet("dmacp faults", flag.ExitOnError)
+	var (
+		stmts   = fs.String("stmts", "A(8*i) = B(8*i)+C(16*i)+D(8*i+64)+E(24*i)\nX(8*i) = Y(8*i)+C(16*i)", "loop body statements (';' or newline separated)")
+		iters   = fs.Int("iters", 256, "iterations of the i loop")
+		sweeps  = fs.Int("sweeps", 1, "outer timestep sweeps")
+		alen    = fs.Int("len", 1<<16, "array length (elements)")
+		window  = fs.Int("window", 0, "fixed statement window (0 = adaptive search 1..8)")
+		cluster = fs.String("cluster", "quadrant", "cluster mode: all-to-all | quadrant | snc-4")
+		cols    = fs.Int("cols", 6, "mesh columns")
+		rows    = fs.Int("rows", 6, "mesh rows")
+		seed    = fs.Int64("seed", 1, "deterministic data seed")
+
+		links     = fs.Int("links", 0, "random dead links to inject")
+		routers   = fs.Int("routers", 0, "random dead routers to inject")
+		tiles     = fs.Int("tiles", 0, "random dead tiles to inject")
+		fseed     = fs.Int64("fseed", 1, "fault injection seed")
+		protect   = fs.Bool("protect-mc", true, "exclude memory-controller corners from the random draw")
+		killLinks = fs.String("kill-links", "", "explicit dead links, e.g. \"0-1,7-13\"")
+		killRtrs  = fs.String("kill-routers", "", "explicit dead routers, e.g. \"14,21\"")
+		killTiles = fs.String("kill-tiles", "", "explicit dead tiles, e.g. \"0,5,30,35\"")
 	)
 	fs.Parse(args)
 
@@ -58,39 +175,44 @@ func runVerify(args []string) {
 	cfg.ClusterMode = *cluster
 	cfg.FixedWindow = *window
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
+	spec := pipeline.FaultSpec{
+		Links: *links, Routers: *routers, Tiles: *tiles,
+		Seed: *fseed, ProtectMCs: *protect,
+		KillLinks: *killLinks, KillRouters: *killRtrs, KillTiles: *killTiles,
+	}
 
-	checks, err := pipeline.CheckSchedules(k, cfg)
+	rep, err := pipeline.RunFaults(k, cfg, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmacp verify:", err)
+		fmt.Fprintln(os.Stderr, "dmacp faults: UNREPAIRABLE:", err)
 		os.Exit(1)
 	}
-	failed := false
-	for _, c := range checks {
-		if !*quiet {
-			fmt.Printf("%-9s %s\n", c.Schedule+":", c.Summary)
-		}
-		for _, d := range c.Diagnostics {
-			if *quiet && !strings.HasPrefix(d, "violation") {
-				continue
-			}
-			fmt.Printf("  %s\n", d)
-		}
-		if !c.Clean {
-			failed = true
-		}
+
+	fmt.Println("== fault injection & schedule repair ==")
+	fmt.Printf("platform:           %dx%d mesh, %s cluster mode\n", *cols, *rows, *cluster)
+	fmt.Printf("faults:             %s\n", rep.Faults)
+	if len(rep.DeadNodes) > 0 {
+		fmt.Printf("dead nodes:         %v (tasks migrated away)\n", rep.DeadNodes)
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule does not preserve all dependences")
-		os.Exit(1)
+	mode := "incremental migration"
+	if rep.FullRepartition {
+		mode = "full re-placement (incremental repair was refuted)"
 	}
-	if !*quiet {
-		fmt.Println("all schedules preserve every RAW/WAR/WAW dependence ✓")
-	}
+	fmt.Printf("repair:             %s; %d tasks migrated, %d fetches rehomed\n", mode, rep.Migrated, rep.RehomedFetches)
+	fmt.Printf("sync arcs:          %d re-emitted for migrated dependences, %d removed by reduction\n", rep.AddedArcs, rep.RemovedArcs)
+	fmt.Printf("verify:             %s\n", rep.VerifySummary)
+	fmt.Printf("data movement:      %d -> %d links (+%.1f%%)\n", rep.BaseMovement, rep.FaultMovement, rep.MovementDegradation()*100)
+	fmt.Printf("execution time:     %.0f -> %.0f cycles (%.2fx slowdown)\n", rep.BaseCycles, rep.FaultCycles, rep.Slowdown())
+	fmt.Printf("avg net latency:    %.1f -> %.1f cycles\n", rep.BaseAvgNetLatency, rep.FaultAvgNetLatency)
+	fmt.Println("repaired schedule preserves every RAW/WAR/WAW dependence ✓")
 }
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		runVerify(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		runFaults(os.Args[2:])
 		return
 	}
 	var (

@@ -226,10 +226,12 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 				if !hit {
 					movement += opts.Mesh.Distance(node, ll.Node())
 				}
+				// Flow ordering on the input line; addWait dedupes the
+				// producer (several inputs of one statement often share a
+				// writer), so SyncsBefore counts distinct arcs — the same
+				// hygiene the optimized emitter applies via DedupeWaits.
 				if w, okw := lastWriter[ll.Line]; okw {
-					t.WaitFor = append(t.WaitFor, w)
-					t.WaitHops = append(t.WaitHops, opts.Mesh.Distance(sched.Tasks[w].Node, node))
-					sched.SyncsBefore++
+					addWait(t, w)
 				}
 			}
 			// The result is stored at the output's home node: the writing

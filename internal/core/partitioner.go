@@ -328,9 +328,12 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		}
 	}
 
-	DedupeWaits(sched.Tasks)
+	// Both emitters report deduplicated sync counts: arcs dropped as exact
+	// duplicates and arcs eliminated by transitive reduction are subtracted,
+	// so SyncsAfter is exactly the number of arcs the simulator charges.
+	deduped := DedupeWaits(sched.Tasks)
 	removed := ReduceSyncs(sched.Tasks)
-	sched.SyncsAfter = sched.SyncsBefore - removed
+	sched.SyncsAfter = sched.SyncsBefore - deduped - removed
 	if sched.SyncsAfter < 0 {
 		sched.SyncsAfter = 0
 	}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmacp/internal/mesh"
+)
+
+// RepairOptions tunes RepairSchedule.
+type RepairOptions struct {
+	// Full re-places every task from scratch instead of migrating only the
+	// tasks stranded on dead or unreachable nodes. It is the escalation step
+	// of RepairVerified: a clean slate when incremental migration produced a
+	// schedule the verifier rejected.
+	Full bool
+	// LoadThreshold is the load-balance slack used when choosing migration
+	// targets (same rule as Options.LoadThreshold); 0 means the partitioner's
+	// default of 0.10.
+	LoadThreshold float64
+}
+
+// RepairReport describes what one RepairSchedule call changed.
+type RepairReport struct {
+	// DeadNodes lists the nodes that lost their tasks: unusable under the
+	// fault set, or cut off from the surviving memory controllers.
+	DeadNodes []mesh.NodeID
+	// Migrated counts tasks moved to a new node; RehomedFetches counts line
+	// accesses redirected because their source node died or became
+	// unreachable.
+	Migrated       int
+	RehomedFetches int
+	// AddedArcs counts synchronization arcs the dependence replay inserted
+	// to restore orderings that per-node program order no longer provides;
+	// RemovedArcs counts arcs the post-repair reduction eliminated.
+	AddedArcs, RemovedArcs int
+	// Full records whether this was a full re-placement.
+	Full bool
+	// MovementBefore is the schedule's bytes x hops movement on the pristine
+	// mesh before repair; MovementAfter is the repaired schedule's movement
+	// on the degraded mesh. Their ratio is the degradation the fault sweep
+	// tracks.
+	MovementBefore, MovementAfter int64
+}
+
+// MovementOn totals the schedule's data movement in line-sized units times
+// live hops on the (possibly degraded) mesh: every non-L1-hit fetch travels
+// from its source to the consuming task, and every synchronization arc
+// carries its producer's partial result across its recorded hops. This is
+// the paper's bytes x hops objective with a unit line size. It fails when a
+// transfer would cross a partitioned mesh.
+func MovementOn(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet) (int64, error) {
+	dist := m.AllDistancesAvoiding(f)
+	var total int64
+	for _, t := range s.Tasks {
+		for _, fe := range t.Fetches {
+			if fe.L1Hit || fe.From == t.Node {
+				continue
+			}
+			d := dist[fe.From][t.Node]
+			if d < 0 {
+				return 0, fmt.Errorf("%w: fetch of line %#x for task %d (%d -> %d)",
+					mesh.ErrPartitioned, fe.Line, t.ID, fe.From, t.Node)
+			}
+			total += int64(d)
+		}
+		for _, h := range t.WaitHops {
+			total += int64(h)
+		}
+	}
+	return total, nil
+}
+
+// RepairSchedule rewrites a schedule in place so it runs on the degraded
+// mesh described by f:
+//
+//  1. the usable placement region is the largest connected component of live
+//     routers that contains a usable memory controller (a region without one
+//     cannot be serviced);
+//  2. tasks stranded outside the region migrate to the in-region node that
+//     minimizes their fetch movement (bytes x hops), subject to the
+//     partitioner's load-balance rule; migrated roots gain an ownership
+//     fetch of their result line, and migrated tasks lose their L1 reuse
+//     (a new node holds no warm copies);
+//  3. fetches whose source died or became unreachable are re-homed to the
+//     nearest usable memory controller (the data must come from DRAM);
+//  4. every WaitHops is recomputed as the live-route distance, and the
+//     dependence structure is replayed: migration changes per-node program
+//     order, so orderings it silently provided are restored as explicit
+//     arcs, then the arc set is deduplicated and transitively reduced.
+//
+// It fails when no usable memory controller survives — such a mesh cannot
+// serve any schedule — leaving s partially modified; callers that need the
+// original afterwards should pass a Clone (RepairVerified does).
+func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions) (*RepairReport, error) {
+	rep := &RepairReport{Full: o.Full}
+	before, err := MovementOn(s, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.MovementBefore = before
+	if f.Empty() {
+		rep.MovementAfter = before
+		return rep, nil
+	}
+	threshold := o.LoadThreshold
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+
+	dist := m.AllDistancesAvoiding(f)
+
+	// The placement region: largest usable component around a usable MC.
+	region, regionMC := placementRegion(m, f, dist)
+	if regionMC == mesh.InvalidNode {
+		return nil, fmt.Errorf("core: repair impossible: no usable memory controller survives (%s)", f)
+	}
+	candidates := make([]mesh.NodeID, 0, len(region))
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if region[n] {
+			candidates = append(candidates, n)
+		}
+	}
+	nearestMC := func(from mesh.NodeID) mesh.NodeID {
+		best, bestD := mesh.InvalidNode, -1
+		for _, mc := range m.MemoryControllers() {
+			if !f.NodeUsable(mc) || !region[mc] {
+				continue
+			}
+			if d := dist[from][mc]; best == mesh.InvalidNode || d < bestD || (d == bestD && mc < best) {
+				best, bestD = mc, d
+			}
+		}
+		return best
+	}
+
+	// Which tasks move, and which stranded nodes they leave.
+	migrate := make([]bool, len(s.Tasks))
+	stranded := make(map[mesh.NodeID]bool)
+	for i, t := range s.Tasks {
+		if !region[t.Node] {
+			migrate[i] = true
+			stranded[t.Node] = true
+		} else if o.Full {
+			migrate[i] = true
+		}
+	}
+	for n := range stranded {
+		rep.DeadNodes = append(rep.DeadNodes, n)
+	}
+	sort.Slice(rep.DeadNodes, func(i, j int) bool { return rep.DeadNodes[i] < rep.DeadNodes[j] })
+
+	// Re-home fetches that can no longer be served from their source; on a
+	// migrating task every fetch is revisited after placement, but the
+	// source must be fixed first so placement costs use reachable sources.
+	for _, t := range s.Tasks {
+		for fi := range t.Fetches {
+			fe := &t.Fetches[fi]
+			if region[fe.From] {
+				continue
+			}
+			fe.From = nearestMC(fe.From)
+			fe.L2Miss = true
+			fe.L1Hit = false
+			rep.RehomedFetches++
+		}
+	}
+
+	// Seed the load tracker with the work that stays put, then place the
+	// migrating tasks in ID order onto the cheapest non-overloaded node.
+	lt := newLoadTracker(m.Nodes(), threshold)
+	for i, t := range s.Tasks {
+		if !migrate[i] {
+			lt.add(t.Node, t.Ops)
+		}
+	}
+	for i, t := range s.Tasks {
+		if !migrate[i] {
+			continue
+		}
+		// A migrated root must reacquire its result line from the line's
+		// home (or DRAM when the home died); the store is no longer local.
+		resultSrc := mesh.InvalidNode
+		if t.IsRoot {
+			resultSrc = t.Node
+			if !region[resultSrc] {
+				resultSrc = nearestMC(resultSrc)
+			}
+		}
+		cost := func(n mesh.NodeID) int64 {
+			var c int64
+			for _, fe := range t.Fetches {
+				c += int64(dist[fe.From][n])
+			}
+			if resultSrc != mesh.InvalidNode {
+				c += int64(dist[resultSrc][n])
+			}
+			return c
+		}
+		best, bestCost := mesh.InvalidNode, int64(-1)
+		overloadedBest := mesh.InvalidNode
+		var overloadedCost int64 = -1
+		for _, n := range candidates {
+			c := cost(n)
+			if lt.wouldOverload(n, t.Ops) {
+				if overloadedBest == mesh.InvalidNode || c < overloadedCost {
+					overloadedBest, overloadedCost = n, c
+				}
+				continue
+			}
+			if best == mesh.InvalidNode || c < bestCost {
+				best, bestCost = n, c
+			}
+		}
+		if best == mesh.InvalidNode {
+			best = overloadedBest // every candidate overloaded: take the cheapest
+		}
+		if t.Node != best {
+			rep.Migrated++
+		}
+		t.Node = best
+		lt.add(best, t.Ops)
+		// The new node holds no warm copies: all reuse hits become fetches.
+		for fi := range t.Fetches {
+			fe := &t.Fetches[fi]
+			if fe.L1Hit {
+				fe.L1Hit = false
+			}
+			if fe.From == t.Node {
+				fe.L2Miss = false // local bank again
+			}
+		}
+		if t.IsRoot && !fetchesLine(t, t.ResultLine) {
+			t.Fetches = append(t.Fetches, Fetch{
+				From: resultSrc, Line: t.ResultLine, L2Miss: m.IsMemoryController(resultSrc) && resultSrc != t.Node,
+			})
+		}
+	}
+
+	// All placements are final: recompute every arc's hop count as the
+	// live-route distance, then restore any dependence ordering migration
+	// took away from per-node program order.
+	for _, t := range s.Tasks {
+		for j, p := range t.WaitFor {
+			t.WaitHops[j] = dist[s.Tasks[p].Node][t.Node]
+		}
+	}
+	rep.AddedArcs = reemitDependenceArcs(s, dist)
+	s.SyncsBefore += rep.AddedArcs
+	rep.RemovedArcs = DedupeWaits(s.Tasks) + ReduceSyncs(s.Tasks)
+	arcs := 0
+	for _, t := range s.Tasks {
+		arcs += len(t.WaitFor)
+	}
+	s.SyncsAfter = arcs
+
+	after, err := MovementOn(s, m, f)
+	if err != nil {
+		return nil, fmt.Errorf("core: repaired schedule still crosses faults: %w", err)
+	}
+	rep.MovementAfter = after
+	return rep, nil
+}
+
+// placementRegion returns the usable-node membership set of the largest
+// live-router component containing a usable memory controller, plus that
+// MC (InvalidNode when none survives). Ties break toward the lower MC id,
+// keeping repair deterministic.
+func placementRegion(m *mesh.Mesh, f *mesh.FaultSet, dist [][]int) ([]bool, mesh.NodeID) {
+	bestSize, bestMC := -1, mesh.InvalidNode
+	var best []bool
+	for _, mc := range m.MemoryControllers() {
+		if !f.NodeUsable(mc) {
+			continue
+		}
+		member := make([]bool, m.Nodes())
+		size := 0
+		for n := 0; n < m.Nodes(); n++ {
+			if dist[mc][n] >= 0 && f.NodeUsable(mesh.NodeID(n)) {
+				member[n] = true
+				size++
+			}
+		}
+		if size > bestSize {
+			bestSize, bestMC, best = size, mc, member
+		}
+	}
+	return best, bestMC
+}
+
+func fetchesLine(t *Task, line uint64) bool {
+	for _, fe := range t.Fetches {
+		if fe.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// reemitDependenceArcs replays the schedule's reads (fetches) and writes
+// (root stores) in task order — the same access model the verifier checks —
+// and inserts an explicit WaitFor arc for every dependence pair the current
+// arc set plus per-node program order no longer orders. Task IDs are
+// topological, so a single forward pass over an incrementally built
+// happens-before bitset closure suffices; by construction the resulting
+// schedule orders every RAW, WAW and WAR pair. Returns the number of arcs
+// added.
+func reemitDependenceArcs(s *Schedule, dist [][]int) int {
+	n := len(s.Tasks)
+	words := (n + 63) / 64
+	bits := make([]uint64, n*words)
+	row := func(i int) []uint64 { return bits[i*words : (i+1)*words] }
+	ordered := func(a, b int) bool { // a happens before b?
+		return row(b)[a/64]&(1<<(uint(a)%64)) != 0
+	}
+	absorb := func(dst []uint64, p int) {
+		src := row(p)
+		for w := range dst {
+			dst[w] |= src[w]
+		}
+		dst[p/64] |= 1 << (uint(p) % 64)
+	}
+
+	added := 0
+	lastOnNode := make(map[mesh.NodeID]int)
+	lastWrite := make(map[uint64]int)
+	readers := make(map[uint64]map[mesh.NodeID]int)
+
+	for i, t := range s.Tasks {
+		r := row(i)
+		for _, p := range t.WaitFor {
+			absorb(r, p)
+		}
+		if prev, ok := lastOnNode[t.Node]; ok {
+			absorb(r, prev)
+		}
+		need := func(p int) {
+			if p == i || ordered(p, i) {
+				return
+			}
+			t.addWait(p, dist[s.Tasks[p].Node][t.Node])
+			added++
+			absorb(r, p)
+		}
+
+		for _, fe := range t.Fetches {
+			if w, ok := lastWrite[fe.Line]; ok {
+				need(w) // RAW
+			}
+			if readers[fe.Line] == nil {
+				readers[fe.Line] = make(map[mesh.NodeID]int)
+			}
+			readers[fe.Line][t.Node] = i
+		}
+		if t.IsRoot {
+			line := t.ResultLine
+			if w, ok := lastWrite[line]; ok {
+				need(w) // WAW
+			}
+			if rs := readers[line]; len(rs) > 0 {
+				nodes := make([]mesh.NodeID, 0, len(rs))
+				for nd := range rs {
+					nodes = append(nodes, nd)
+				}
+				sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+				for _, nd := range nodes {
+					need(rs[nd]) // WAR
+				}
+			}
+			delete(readers, line)
+			lastWrite[line] = i
+		}
+		lastOnNode[t.Node] = i
+	}
+	return added
+}
+
+// RepairChecker validates a candidate repaired schedule; RepairVerified
+// accepts a repair only when the checker does. The pipeline installs the
+// race detector here (core cannot import verify), so every schedule that
+// survives repair is proven dependence-sound, not just structurally valid.
+type RepairChecker func(*Schedule) error
+
+// RepairVerified is the gated degradation path: repair incrementally,
+// verify; on rejection escalate to a full re-placement, verify; only then
+// give up. The input schedule is never mutated — each attempt works on a
+// Clone — and the returned schedule is the accepted clone. A nil checker
+// degrades to structural validation only.
+func RepairVerified(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *RepairReport, error) {
+	if check == nil {
+		check = func(c *Schedule) error { return ValidateScheduleOn(c, m, f) }
+	}
+	var firstErr error
+	for _, full := range []bool{false, true} {
+		if o.Full && !full {
+			continue // caller already requested the full strategy
+		}
+		attempt := o
+		attempt.Full = full
+		c := s.Clone()
+		rep, err := RepairSchedule(c, m, f, attempt)
+		if err == nil {
+			if verr := ValidateScheduleOn(c, m, f); verr != nil {
+				err = verr
+			} else if cerr := check(c); cerr != nil {
+				err = cerr
+			} else {
+				return c, rep, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, nil, fmt.Errorf("core: repair failed after full re-placement escalation: %w", firstErr)
+}

@@ -57,6 +57,31 @@ type Schedule struct {
 	Instances int
 }
 
+// Clone returns a deep copy of the schedule; repair mutates the copy so the
+// pristine schedule survives for comparison and for escalation retries.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Tasks:       make([]*Task, len(s.Tasks)),
+		SyncsBefore: s.SyncsBefore,
+		SyncsAfter:  s.SyncsAfter,
+		Instances:   s.Instances,
+	}
+	for i, t := range s.Tasks {
+		ct := *t
+		if t.Mix != nil {
+			ct.Mix = make(map[ir.OpClass]int, len(t.Mix))
+			for k, v := range t.Mix {
+				ct.Mix[k] = v
+			}
+		}
+		ct.Fetches = append([]Fetch(nil), t.Fetches...)
+		ct.WaitFor = append([]int(nil), t.WaitFor...)
+		ct.WaitHops = append([]int(nil), t.WaitHops...)
+		out.Tasks[i] = &ct
+	}
+	return out
+}
+
 // addWait records a synchronization arc from producer to consumer crossing
 // the given number of network hops.
 func (t *Task) addWait(producer int, hops int) {

@@ -19,8 +19,21 @@ import (
 //   - every statement instance has exactly one root task, and instance
 //     (Iter, Stmt) pairs appear in execution order.
 func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
+	return ValidateScheduleOn(s, m, nil)
+}
+
+// ValidateScheduleOn is ValidateSchedule for a degraded mesh: the same
+// structural invariants, but every task must sit on a usable node (live tile
+// and router) and every WaitHops entry must equal the fault-aware live-route
+// distance rather than the Manhattan distance. With a nil or empty fault set
+// it is exactly ValidateSchedule.
+func ValidateScheduleOn(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet) error {
 	if s == nil {
 		return fmt.Errorf("core: nil schedule")
+	}
+	var dist [][]int
+	if !f.Empty() {
+		dist = m.AllDistancesAvoiding(f)
 	}
 	type instKey struct{ iter, stmt int }
 	roots := make(map[instKey]int)
@@ -32,6 +45,9 @@ func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
 		if t.Node < 0 || int(t.Node) >= m.Nodes() {
 			return fmt.Errorf("core: task %d on invalid node %d", i, t.Node)
 		}
+		if dist != nil && !f.NodeUsable(t.Node) {
+			return fmt.Errorf("core: task %d placed on dead node %d", i, t.Node)
+		}
 		if len(t.WaitFor) != len(t.WaitHops) {
 			return fmt.Errorf("core: task %d WaitFor/WaitHops mismatch (%d vs %d)",
 				i, len(t.WaitFor), len(t.WaitHops))
@@ -40,7 +56,14 @@ func ValidateSchedule(s *Schedule, m *mesh.Mesh) error {
 			if p < 0 || p >= t.ID {
 				return fmt.Errorf("core: task %d waits on non-earlier task %d", i, p)
 			}
-			if want := m.Distance(s.Tasks[p].Node, t.Node); t.WaitHops[j] != want {
+			want := 0
+			if dist == nil {
+				want = m.Distance(s.Tasks[p].Node, t.Node)
+			} else if want = dist[s.Tasks[p].Node][t.Node]; want < 0 {
+				return fmt.Errorf("core: task %d arc from %d crosses a partitioned mesh (%d -> %d)",
+					i, p, s.Tasks[p].Node, t.Node)
+			}
+			if t.WaitHops[j] != want {
 				return fmt.Errorf("core: task %d arc from %d has hops %d, want %d",
 					i, p, t.WaitHops[j], want)
 			}

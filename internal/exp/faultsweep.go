@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+
+	"dmacp/internal/core"
+	"dmacp/internal/mesh"
+	"dmacp/internal/sim"
+	"dmacp/internal/stats"
+	"dmacp/internal/verify"
+	"dmacp/internal/workloads"
+)
+
+// FaultLevel is one degradation step of the sweep: how many links, routers
+// and tiles die. Levels injected from one seed are nested (the same shuffle
+// prefix picks the links), so movement at level k+1 is comparable to level k.
+type FaultLevel struct {
+	Links, Routers, Tiles int
+}
+
+func (l FaultLevel) String() string {
+	return fmt.Sprintf("%dL/%dR/%dT", l.Links, l.Routers, l.Tiles)
+}
+
+// FaultSweepConfig parameterizes the differential fault-injection harness.
+type FaultSweepConfig struct {
+	// Apps lists the workloads to sweep (default: all 12).
+	Apps []string
+	// Scale sizes each workload build (default workloads.TestScale()).
+	Scale workloads.Scale
+	// Seed drives fault injection; each (nest, mode, window) series derives
+	// its own sub-seed deterministically.
+	Seed int64
+	// Modes lists the cluster modes to sweep (default: Quadrant).
+	Modes []mesh.ClusterMode
+	// Windows lists fixed partitioner window sizes to sweep (default {4};
+	// fixed windows skip the 8-pass adaptive search, keeping the sweep fast).
+	Windows []int
+	// Levels lists the fault levels, mildest first (default: none, 1..3 dead
+	// links, then 3 dead links + 1 dead non-MC tile — the acceptance ladder).
+	Levels []FaultLevel
+}
+
+func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
+	if len(c.Apps) == 0 {
+		c.Apps = workloads.Names()
+	}
+	if c.Scale.Iters <= 0 {
+		c.Scale = workloads.TestScale()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []mesh.ClusterMode{mesh.Quadrant}
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []int{4}
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []FaultLevel{
+			{}, {Links: 1}, {Links: 2}, {Links: 3}, {Links: 3, Tiles: 1},
+		}
+	}
+	return c
+}
+
+// FaultSweepResult aggregates one sweep.
+type FaultSweepResult struct {
+	// Levels echoes the swept ladder; MovementRatio[k] is the mean
+	// repaired-movement / pristine-movement over all schedules at level k,
+	// and CycleRatio[k] the same for simulated cycles.
+	Levels        []FaultLevel
+	MovementRatio []float64
+	CycleRatio    []float64
+	// Repaired counts schedules that survived repair + verification;
+	// Migrated and AddedArcs sum the repair work across them; FullRepairs
+	// counts repairs that needed the full re-placement escalation.
+	Repaired    int
+	Migrated    int
+	AddedArcs   int
+	FullRepairs int
+	// Violations holds one line per failure: a repair that errored on a
+	// repairable mesh, a repaired schedule the verifier refuted, or a
+	// simulation that rejected a repaired schedule. Empty means every
+	// surviving schedule is dependence-sound.
+	Violations []string
+	// NonMonotonic holds one line per level whose mean movement ratio fell
+	// more than the tolerance below its predecessor's — degradation should
+	// grow (approximately) with fault count since levels are nested.
+	NonMonotonic []string
+}
+
+// monotonicTolerance is how far a level's mean movement ratio may fall below
+// its predecessor before the sweep flags it: repair re-placement can trade a
+// little movement for load balance, but nested fault sets must not get
+// systematically cheaper.
+const monotonicTolerance = 0.02
+
+// FaultSweep partitions every workload nest under each (mode, window)
+// variant, injects the nested fault ladder into the mesh, repairs each
+// schedule through the verifier-gated path (incremental migration, then full
+// re-placement), statically verifies every survivor against the IR with
+// fault-aware structural checks, and simulates it on the degraded mesh. It
+// asserts the robustness contract: no surviving schedule drops a dependence,
+// and data movement degrades monotonically-reasonably with fault count.
+func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FaultSweepResult{Levels: cfg.Levels}
+	sums := make([]float64, len(cfg.Levels))
+	csums := make([]float64, len(cfg.Levels))
+	counts := make([]int, len(cfg.Levels))
+
+	series := 0
+	for _, name := range cfg.Apps {
+		app, err := workloads.Build(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, nest := range app.Nests {
+			for _, mode := range cfg.Modes {
+				for _, w := range cfg.Windows {
+					opts := core.DefaultOptions()
+					opts.Mode = mode
+					opts.FixedWindow = w
+					part, err := core.Partition(app.Prog, nest, app.Store, opts)
+					if err != nil {
+						return nil, fmt.Errorf("exp: faultsweep %s mode=%v w=%d: %w", nest.Name, mode, w, err)
+					}
+					baseSim, err := sim.Run(part.Schedule, simConfigFor(opts))
+					if err != nil {
+						return nil, fmt.Errorf("exp: faultsweep %s base sim: %w", nest.Name, err)
+					}
+					seriesSeed := cfg.Seed + int64(series)*1000003
+					series++
+
+					for li, lvl := range cfg.Levels {
+						variant := fmt.Sprintf("%s mode=%v w=%d level=%s", nest.Name, mode, w, lvl)
+						// One seed per series: level k+1's links are a
+						// superset of level k's (nested ladder).
+						fs := mesh.Inject(opts.Mesh, seriesSeed, lvl.Links, lvl.Routers, lvl.Tiles, true)
+
+						checker := func(s *core.Schedule) error {
+							rep, err := verify.Check(verify.Input{
+								Prog: app.Prog, Nest: nest, Store: app.Store,
+								Schedule: s, Mesh: opts.Mesh, Faults: fs,
+								Layout: opts.Layout, Translations: part.Translations,
+								Labels: part.LineLabels,
+							}, verify.Options{})
+							if err != nil {
+								return err
+							}
+							return rep.Err()
+						}
+						repaired, rep, err := core.RepairVerified(part.Schedule, opts.Mesh, fs, core.RepairOptions{
+							LoadThreshold: opts.LoadThreshold,
+						}, checker)
+						if err != nil {
+							res.Violations = append(res.Violations,
+								fmt.Sprintf("%s: %v", variant, err))
+							continue
+						}
+						res.Repaired++
+						res.Migrated += rep.Migrated
+						res.AddedArcs += rep.AddedArcs
+						if rep.Full {
+							res.FullRepairs++
+						}
+						if rep.MovementBefore > 0 {
+							sums[li] += float64(rep.MovementAfter) / float64(rep.MovementBefore)
+							counts[li]++
+						}
+						simCfg := simConfigFor(opts)
+						simCfg.Faults = fs
+						sr, err := sim.Run(repaired, simCfg)
+						if err != nil {
+							res.Violations = append(res.Violations,
+								fmt.Sprintf("%s: degraded simulation rejected the repaired schedule: %v", variant, err))
+							continue
+						}
+						if baseSim.Cycles > 0 {
+							csums[li] += sr.Cycles / baseSim.Cycles
+						}
+					}
+				}
+			}
+		}
+	}
+
+	res.MovementRatio = make([]float64, len(cfg.Levels))
+	res.CycleRatio = make([]float64, len(cfg.Levels))
+	for i := range cfg.Levels {
+		if counts[i] > 0 {
+			res.MovementRatio[i] = sums[i] / float64(counts[i])
+			res.CycleRatio[i] = csums[i] / float64(counts[i])
+		}
+	}
+	for i := 1; i < len(res.MovementRatio); i++ {
+		if counts[i] == 0 || counts[i-1] == 0 {
+			continue
+		}
+		if res.MovementRatio[i] < res.MovementRatio[i-1]-monotonicTolerance {
+			res.NonMonotonic = append(res.NonMonotonic, fmt.Sprintf(
+				"level %s mean movement ratio %.4f fell below level %s's %.4f",
+				cfg.Levels[i], res.MovementRatio[i], cfg.Levels[i-1], res.MovementRatio[i-1]))
+		}
+	}
+	return res, nil
+}
+
+// simConfigFor builds the default simulator configuration for a platform.
+func simConfigFor(opts core.Options) sim.Config {
+	return sim.DefaultConfig(opts.Mesh)
+}
+
+// FaultSweep exposes the fault-injection harness as an experiment entry.
+func (r *Runner) FaultSweep() (*Experiment, error) {
+	cfg := FaultSweepConfig{Scale: r.Scale, Seed: 1, Modes: []mesh.ClusterMode{mesh.Quadrant}}
+	res, err := FaultSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Experiment{
+		ID:         "faultsweep",
+		Title:      "Fault injection: degraded-mesh repair gated by the race detector",
+		PaperClaim: "repaired schedules stay dependence-sound; movement degrades with fault count (robustness extension, not in the paper)",
+		Table:      &stats.Table{Header: []string{"Fault level", "Movement ratio", "Cycle ratio"}},
+		Headline: map[string]float64{
+			"violations": float64(len(res.Violations) + len(res.NonMonotonic)),
+		},
+	}
+	for i, lvl := range res.Levels {
+		e.Table.Add(lvl.String(), fmt.Sprintf("%.4f  %.4f", res.MovementRatio[i], res.CycleRatio[i]))
+	}
+	e.Table.Add("schedules repaired+verified", res.Repaired)
+	e.Table.Add("tasks migrated", res.Migrated)
+	e.Table.Add("sync arcs added", res.AddedArcs)
+	e.Table.Add("full re-placements", res.FullRepairs)
+	e.Table.Add("violations", len(res.Violations))
+	for i, v := range res.Violations {
+		if i == 3 {
+			e.Table.Add("...", fmt.Sprintf("%d more", len(res.Violations)-3))
+			break
+		}
+		e.Table.Add(fmt.Sprintf("violation %d", i+1), v)
+	}
+	for _, nm := range res.NonMonotonic {
+		e.Table.Add("non-monotonic", nm)
+	}
+	return e, nil
+}

@@ -26,7 +26,13 @@ func (t *Traffic) Mesh() *Mesh { return t.m }
 // Record adds flits units of load to every link on the XY route from src to
 // dst and returns the number of links traversed.
 func (t *Traffic) Record(src, dst NodeID, flits int64) int {
-	route := t.m.Route(src, dst)
+	return t.RecordRoute(t.m.Route(src, dst), flits)
+}
+
+// RecordRoute adds flits units of load to every link of an explicit route
+// (e.g. a fault-aware detour from RouteAvoiding) and returns the number of
+// links traversed.
+func (t *Traffic) RecordRoute(route []Link, flits int64) int {
 	for _, l := range route {
 		if i := t.m.linkIndex(l); i >= 0 {
 			t.load[i] += flits
@@ -127,7 +133,13 @@ func (t *Traffic) PathLatency(src, dst NodeID, p LatencyParams) float64 {
 // traffic slows every transfer, so schedules that move less data see lower
 // average latencies (Figure 19).
 func (t *Traffic) PathLatencyAt(src, dst NodeID, p LatencyParams, elapsed float64) float64 {
-	route := t.m.Route(src, dst)
+	return t.RouteLatencyAt(t.m.Route(src, dst), p, elapsed)
+}
+
+// RouteLatencyAt is PathLatencyAt over an explicit route, so degraded-mesh
+// transfers pay for every link of their detour, not just the Manhattan
+// distance.
+func (t *Traffic) RouteLatencyAt(route []Link, p LatencyParams, elapsed float64) float64 {
 	if len(route) == 0 {
 		return 0
 	}

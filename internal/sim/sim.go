@@ -97,6 +97,13 @@ type Config struct {
 	// of Section 6.4). Traffic is still recorded for energy accounting.
 	IdealNetwork bool
 
+	// Faults, when set, degrades the mesh: every transfer is routed around
+	// the dead links and routers (paying for each link of the detour), L2
+	// misses drain through the nearest surviving memory controller, and a
+	// schedule that still touches a dead node or crosses a partitioned pair
+	// is rejected with an error — run core.RepairSchedule first.
+	Faults *mesh.FaultSet
+
 	// The following knobs exist for the metric-isolation study of Figure 18
 	// (enforcing one optimized metric on the default execution, as the
 	// paper does in simulation).
@@ -221,21 +228,62 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 		return int(mc)
 	}
 
+	// Degraded mesh: reject schedules that still touch dead nodes (repair
+	// first), route every transfer around the faults, and cache the routes
+	// (the BFS detour for one pair never changes within a run).
+	faulty := !cfg.Faults.Empty()
+	if faulty {
+		for _, t := range sched.Tasks {
+			if !cfg.Faults.NodeUsable(t.Node) {
+				return nil, fmt.Errorf("sim: task %d placed on dead node %d; repair the schedule before simulating", t.ID, t.Node)
+			}
+		}
+	}
+	routeCache := make(map[[2]mesh.NodeID][]mesh.Link)
+	var routeErr error
+	routeOf := func(from, to mesh.NodeID) []mesh.Link {
+		key := [2]mesh.NodeID{from, to}
+		if r, ok := routeCache[key]; ok {
+			return r
+		}
+		r, err := cfg.Mesh.RouteAvoiding(from, to, cfg.Faults)
+		if err != nil && routeErr == nil {
+			routeErr = err
+		}
+		routeCache[key] = r
+		return r
+	}
+
 	var recAcc float64
 	transferLatency := func(from, to mesh.NodeID, now float64) float64 {
-		hops := float64(cfg.Mesh.Distance(from, to)) * cfg.HopScale
+		var route []mesh.Link
+		hopCount := cfg.Mesh.Distance(from, to)
+		if faulty {
+			route = routeOf(from, to)
+			hopCount = len(route)
+		}
+		hops := float64(hopCount) * cfg.HopScale
 		res.Transfers++
 		res.HopsTotal += int64(hops)
 		if cfg.IdealNetwork {
 			return 0
 		}
-		lat := tr.PathLatencyAt(from, to, cfg.Latency, now) * cfg.HopScale
+		var lat float64
+		if faulty {
+			lat = tr.RouteLatencyAt(route, cfg.Latency, now) * cfg.HopScale
+		} else {
+			lat = tr.PathLatencyAt(from, to, cfg.Latency, now) * cfg.HopScale
+		}
 		// Scaled movement (the S2 isolation) also thins the traffic the
 		// congestion model sees: record a HopScale fraction of transfers.
 		recAcc += cfg.HopScale
 		if recAcc >= 1 {
 			recAcc--
-			tr.Record(from, to, 1)
+			if faulty {
+				tr.RecordRoute(route, 1)
+			} else {
+				tr.Record(from, to, 1)
+			}
 		}
 		if lat > res.MaxNetLatency {
 			res.MaxNetLatency = lat
@@ -299,8 +347,17 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 				res.L2Misses++
 				// DRAM access behind the MC, serialized per controller. When
 				// the compiler mispredicted and placed the fetch at a home
-				// bank, the request still drains through that bank's MC.
-				mc := mcKey(cfg.Mesh.NearestMC(f.From), f.Line)
+				// bank, the request still drains through that bank's MC — or,
+				// on a degraded mesh, the nearest controller that survives.
+				servingMC := cfg.Mesh.NearestMC(f.From)
+				if faulty {
+					var mcErr error
+					servingMC, mcErr = cfg.Mesh.NearestUsableMC(f.From, cfg.Faults)
+					if mcErr != nil {
+						return nil, fmt.Errorf("sim: task %d: %w", t.ID, mcErr)
+					}
+				}
+				mc := mcKey(servingMC, f.Line)
 				ready := max(start, mcFree[mc])
 				mcFree[mc] = ready + cfg.MCServiceCycles
 				lat = (ready - start) + cfg.MemMode.dramCycles()
@@ -356,6 +413,9 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 		}
 	}
 
+	if routeErr != nil {
+		return nil, fmt.Errorf("sim: %w", routeErr)
+	}
 	if n := res.Transfers; n > 0 && !cfg.IdealNetwork {
 		res.AvgNetLatency /= float64(n)
 	}

@@ -42,6 +42,12 @@ type Input struct {
 	Schedule *core.Schedule
 	Mesh     *mesh.Mesh
 
+	// Faults, when set, marks the schedule as targeting a degraded mesh:
+	// structural validation then requires usable nodes and fault-aware
+	// (live-route) hop counts instead of Manhattan distances. The dependence
+	// checks are unaffected — ordering is topology-independent.
+	Faults *mesh.FaultSet
+
 	// Prog, Nest, Store, Layout and Translations enable the IR-level checks
 	// (dependence enumeration, completeness, bounds). Store must be in the
 	// same pre-execution state the emitter saw, since it resolves indirect
@@ -107,7 +113,7 @@ func Check(in Input, o Options) (*Report, error) {
 
 	// Structural invariants first; a structurally broken schedule is still
 	// analyzed best-effort so the report can carry the deeper findings too.
-	if err := core.ValidateSchedule(in.Schedule, in.Mesh); err != nil {
+	if err := core.ValidateScheduleOn(in.Schedule, in.Mesh, in.Faults); err != nil {
 		rep.addViolation(RaceDiagnostic{
 			Kind: KindStructural, EarlierTask: noTask, LaterTask: noTask,
 			Detail: err.Error(),

@@ -1,0 +1,259 @@
+// Fault tolerance facade: inject a fault set into the modeled mesh, repair
+// the optimized schedule through the verifier-gated degradation path, and
+// report how much movement and execution time the faults cost. This is the
+// `dmacp faults` subcommand's engine.
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dmacp/internal/baseline"
+	"dmacp/internal/core"
+	"dmacp/internal/mesh"
+	"dmacp/internal/sim"
+	"dmacp/internal/verify"
+	"dmacp/internal/workloads"
+)
+
+// FaultSpec describes the faults to inject. Random counts (Links, Routers,
+// Tiles with Seed) and explicit kill lists compose: the random draw happens
+// first, then the listed components are killed on top.
+type FaultSpec struct {
+	// Links, Routers and Tiles are counts drawn deterministically from Seed.
+	Links, Routers, Tiles int
+	Seed                  int64
+	// ProtectMCs excludes memory-controller corners from the random draw
+	// (explicit kill lists are never protected — that is how an unrepairable
+	// mesh is demonstrated).
+	ProtectMCs bool
+	// KillLinks lists explicit dead links as "a-b,c-d" node-id pairs;
+	// KillRouters and KillTiles list explicit node ids as "n,m,...".
+	KillLinks   string
+	KillRouters string
+	KillTiles   string
+}
+
+// Build materializes the spec against a mesh.
+func (s FaultSpec) Build(m *mesh.Mesh) (*mesh.FaultSet, error) {
+	f := mesh.Inject(m, s.Seed, s.Links, s.Routers, s.Tiles, s.ProtectMCs)
+	if s.KillLinks != "" {
+		for _, pair := range strings.Split(s.KillLinks, ",") {
+			a, b, ok := strings.Cut(strings.TrimSpace(pair), "-")
+			if !ok {
+				return nil, fmt.Errorf("pipeline: bad link %q (want \"a-b\")", pair)
+			}
+			an, err1 := strconv.Atoi(strings.TrimSpace(a))
+			bn, err2 := strconv.Atoi(strings.TrimSpace(b))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("pipeline: bad link %q (want \"a-b\")", pair)
+			}
+			if !m.Valid(mesh.NodeID(an)) || !m.Valid(mesh.NodeID(bn)) || m.Distance(mesh.NodeID(an), mesh.NodeID(bn)) != 1 {
+				return nil, fmt.Errorf("pipeline: %q is not a physical link of the %dx%d mesh", pair, m.Cols(), m.Rows())
+			}
+			f.KillLink(mesh.NodeID(an), mesh.NodeID(bn))
+		}
+	}
+	kill := func(list string, apply func(mesh.NodeID)) error {
+		if list == "" {
+			return nil
+		}
+		for _, tok := range strings.Split(list, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || !m.Valid(mesh.NodeID(n)) {
+				return fmt.Errorf("pipeline: bad node id %q", tok)
+			}
+			apply(mesh.NodeID(n))
+		}
+		return nil
+	}
+	if err := kill(s.KillRouters, f.KillRouter); err != nil {
+		return nil, err
+	}
+	if err := kill(s.KillTiles, f.KillTile); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FaultReport is the outcome of RunFaults: what died, what the repair did,
+// and the measured degradation of the optimized schedule.
+type FaultReport struct {
+	Kernel string
+	// Faults describes the injected fault set.
+	Faults string
+	// DeadNodes lists the nodes whose tasks were migrated away.
+	DeadNodes []int
+	// Repair counters (see core.RepairReport).
+	Migrated, RehomedFetches   int
+	AddedArcs, RemovedArcs     int
+	FullRepartition            bool
+	// BaseMovement / FaultMovement are bytes x hops before and after.
+	BaseMovement, FaultMovement int64
+	// BaseCycles / FaultCycles and the average network latencies measure the
+	// simulated degradation.
+	BaseCycles, FaultCycles             float64
+	BaseAvgNetLatency, FaultAvgNetLatency float64
+	// VerifySummary is the race detector's headline counters for the
+	// repaired schedule (always zero violations — RunFaults fails otherwise).
+	VerifySummary string
+}
+
+// MovementDegradation returns FaultMovement/BaseMovement - 1.
+func (r *FaultReport) MovementDegradation() float64 {
+	if r.BaseMovement == 0 {
+		return 0
+	}
+	return float64(r.FaultMovement)/float64(r.BaseMovement) - 1
+}
+
+// Slowdown returns FaultCycles/BaseCycles.
+func (r *FaultReport) Slowdown() float64 {
+	if r.BaseCycles == 0 {
+		return 0
+	}
+	return r.FaultCycles / r.BaseCycles
+}
+
+// String summarizes the report.
+func (r *FaultReport) String() string {
+	return fmt.Sprintf("%s: %s; %d migrated, movement %d->%d (+%.1f%%), cycles %.0f->%.0f (%.2fx slowdown)",
+		r.Kernel, r.Faults, r.Migrated, r.BaseMovement, r.FaultMovement,
+		r.MovementDegradation()*100, r.BaseCycles, r.FaultCycles, r.Slowdown())
+}
+
+// RunFaults partitions the kernel, injects the fault set, repairs the
+// optimized schedule through the verifier-gated path (incremental migration,
+// escalating to a full re-placement), and simulates the pristine and
+// degraded executions. It returns an error — and no schedule — when the
+// fault set is unrepairable (no surviving memory controller, a partitioned
+// placement region, or a repair the race detector refutes twice).
+func RunFaults(k Kernel, cfg Config, spec FaultSpec) (*FaultReport, error) {
+	prog, nest, store, opts, simCfg, err := build(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := spec.Build(opts.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.Partition(prog, nest, store, opts)
+	if err != nil {
+		return nil, err
+	}
+	baseSim, err := sim.Run(opt.Schedule, simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var verifySummary string
+	checker := func(s *core.Schedule) error {
+		rep, err := verify.Check(verify.Input{
+			Prog: prog, Nest: nest, Store: store,
+			Schedule: s, Mesh: opts.Mesh, Faults: f,
+			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
+		}, verify.Options{})
+		if err != nil {
+			return err
+		}
+		verifySummary = rep.Summary()
+		return rep.Err()
+	}
+	repaired, rep, err := core.RepairVerified(opt.Schedule, opts.Mesh, f, core.RepairOptions{
+		LoadThreshold: opts.LoadThreshold,
+	}, checker)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: fault set %s is unrepairable for %q: %w", f, nest.Name, err)
+	}
+
+	faultCfg := simCfg
+	faultCfg.Faults = f
+	faultSim, err := sim.Run(repaired, faultCfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: degraded simulation rejected the repaired schedule: %w", err)
+	}
+
+	out := &FaultReport{
+		Kernel:             nest.Name,
+		Faults:             f.String(),
+		Migrated:           rep.Migrated,
+		RehomedFetches:     rep.RehomedFetches,
+		AddedArcs:          rep.AddedArcs,
+		RemovedArcs:        rep.RemovedArcs,
+		FullRepartition:    rep.Full,
+		BaseMovement:       rep.MovementBefore,
+		FaultMovement:      rep.MovementAfter,
+		BaseCycles:         baseSim.Cycles,
+		FaultCycles:        faultSim.Cycles,
+		BaseAvgNetLatency:  baseSim.AvgNetLatency,
+		FaultAvgNetLatency: faultSim.AvgNetLatency,
+		VerifySummary:      verifySummary,
+	}
+	for _, n := range rep.DeadNodes {
+		out.DeadNodes = append(out.DeadNodes, int(n))
+	}
+	return out, nil
+}
+
+// WorkloadNames lists the 12 shipped applications, for `dmacp verify -app`.
+func WorkloadNames() []string { return workloads.Names() }
+
+// CheckAppSchedules builds one of the shipped applications at the given
+// scale (iters/elems <= 0 pick the evaluation default) and runs the static
+// race detector over the optimized and default schedules of every nest,
+// named "App/nest (optimized)" and "App/nest (default)".
+func CheckAppSchedules(app string, iters, elems int, cfg Config) ([]ScheduleCheck, error) {
+	sc := workloads.DefaultScale()
+	if iters > 0 {
+		sc.Iters = iters
+	}
+	if elems > 0 {
+		sc.Elems = elems
+	}
+	a, err := workloads.Build(app, sc)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse the kernel translation only for platform options; the program
+	// and store come from the workload build.
+	_, _, _, opts, _, err := build(Kernel{Name: "probe", Statements: "A(i) = B(i)", Iterations: 1}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScheduleCheck
+	for _, nest := range a.Nests {
+		opt, err := core.Partition(a.Prog, nest, a.Store, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s optimized: %w", nest.Name, err)
+		}
+		def, err := baseline.Place(a.Prog, nest, a.Store, opts, baseline.ProfiledLocality)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s default: %w", nest.Name, err)
+		}
+		check := func(name string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string) error {
+			rep, err := verify.Check(verify.Input{
+				Prog: a.Prog, Nest: nest, Store: a.Store,
+				Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
+				Translations: translations, Labels: labels,
+			}, verify.Options{})
+			if err != nil {
+				return fmt.Errorf("pipeline: verifying %s: %w", name, err)
+			}
+			out = append(out, ScheduleCheck{
+				Schedule:    name,
+				Clean:       rep.Clean(),
+				Summary:     rep.Summary(),
+				Diagnostics: rep.Lines(),
+			})
+			return nil
+		}
+		if err := check(nest.Name+" (optimized)", opt.Schedule, opt.Translations, opt.LineLabels); err != nil {
+			return nil, err
+		}
+		if err := check(nest.Name+" (default)", def.Schedule, def.Translations, nil); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
