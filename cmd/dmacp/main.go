@@ -58,6 +58,7 @@ func runVerify(args []string) {
 		rows    = fs.Int("rows", 6, "mesh rows")
 		seed    = fs.Int64("seed", 1, "deterministic data seed")
 		quiet   = fs.Bool("q", false, "print violations only, no summaries")
+		strict  = fs.Bool("strict", false, "treat warnings as failures (non-zero exit)")
 	)
 	fs.Parse(args)
 
@@ -72,6 +73,7 @@ func runVerify(args []string) {
 		for _, c := range checks {
 			if !*quiet {
 				fmt.Printf("%-9s %s\n", c.Schedule+":", c.Summary)
+				fmt.Printf("  kinds: %s\n", c.Kinds)
 			}
 			for _, d := range c.Diagnostics {
 				if *quiet && !strings.HasPrefix(d, "violation") {
@@ -79,7 +81,7 @@ func runVerify(args []string) {
 				}
 				fmt.Printf("  %s\n", d)
 			}
-			if !c.Clean {
+			if !c.Clean || (*strict && c.WarningCount > 0) {
 				failed = true
 			}
 		}
@@ -106,7 +108,7 @@ func runVerify(args []string) {
 			}
 		}
 		if failed {
-			fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule does not preserve all dependences")
+			fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule failed verification")
 			os.Exit(1)
 		}
 		if !*quiet {
@@ -129,7 +131,7 @@ func runVerify(args []string) {
 		os.Exit(1)
 	}
 	if report(checks) {
-		fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule does not preserve all dependences")
+		fmt.Fprintln(os.Stderr, "dmacp verify: FAILED: a schedule failed verification")
 		os.Exit(1)
 	}
 	if !*quiet {

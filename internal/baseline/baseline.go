@@ -248,6 +248,15 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 			})
 			movement += opts.Mesh.Distance(node, storeLL.Home)
 			l1[node].Access(storeLL.Line)
+			// Write-invalidate: the store kills every remote shadow-L1 copy
+			// of the output line, so a later read on another core refetches
+			// instead of claiming a hit on a stale copy (which the verifier
+			// now rejects as a Violation).
+			for i := range l1 {
+				if mesh.NodeID(i) != node {
+					l1[i].Invalidate(storeLL.Line)
+				}
+			}
 			t.ResultLine = storeLL.Line
 			// Output ordering: the RFO and store of the output line must
 			// follow its previous writer (WAW) and every read issued from
@@ -280,7 +289,16 @@ func Place(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts core.Options, 
 			}
 		}
 	}
-	sched.SyncsAfter = sched.SyncsBefore
+	// Transitive sync reduction, same as the optimized emitter: addWait
+	// already dedupes producers inline, and ReduceSyncs removes every arc
+	// the remaining arc structure implies (the verifier's sync-sufficiency
+	// pass cross-validates that zero redundant arcs remain). SyncsAfter is
+	// exactly the number of arcs the simulator charges.
+	removed := core.ReduceSyncs(sched.Tasks)
+	sched.SyncsAfter = sched.SyncsBefore - removed
+	if sched.SyncsAfter < 0 {
+		sched.SyncsAfter = 0
+	}
 
 	if sched.Instances > 0 {
 		res.AvgMovement = float64(res.TotalMovement) / float64(sched.Instances)

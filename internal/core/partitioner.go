@@ -250,13 +250,23 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		root, extra := sched.emitTasks(passOpts.Mesh, plan, an, stmtIdx, iter, k/window, opWeight, mix, stmt.OpCount(1), lt)
 
 		// Inter-statement flow dependences: the root (and any task fetching
-		// a previously written line) must follow the writer.
+		// a previously written line) must follow the writer. When the fetch
+		// already sources the writer's node — the only location holding a
+		// valid copy after write-invalidation — the fresh line rides the
+		// producer handshake into the consumer's L1 (store-to-load
+		// forwarding), so the fetch is serviced at L1 cost rather than
+		// re-reading the L2 bank or DRAM.
 		for ti := len(sched.Tasks) - 1; ti >= 0 && sched.Tasks[ti].Iter == iter && sched.Tasks[ti].Stmt == stmtIdx; ti-- {
 			t := sched.Tasks[ti]
-			for _, f := range t.Fetches {
+			for fi := range t.Fetches {
+				f := &t.Fetches[fi]
 				if w, ok := lastWriter[f.Line]; ok {
 					t.addWait(w, passOpts.Mesh.Distance(sched.Tasks[w].Node, t.Node))
 					sched.SyncsBefore++
+					if sched.Tasks[w].Node == f.From {
+						f.L1Hit = true
+						f.L2Miss = false
+					}
 				}
 			}
 		}
@@ -303,9 +313,19 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		// instance's own reads happen before its root's write (tree arcs plus
 		// per-node order guarantee it), and later writers are ordered against
 		// the root through lastWriter.
+		//
+		// Write-invalidate: the store also kills every remote copy of the
+		// line in both copy models — the shadow L1s and the reuse map — so
+		// no later statement plans an L1 reuse from a pre-write copy. The
+		// verifier replays the same model and rejects stale hits outright.
 		delete(lastReaders, storeLoc.Line)
+		for n := range l1 {
+			if mesh.NodeID(n) != storeLoc.Home {
+				l1[n].Invalidate(storeLoc.Line)
+			}
+		}
 		l1[storeLoc.Home].Access(storeLoc.Line)
-		varMap[storeLoc.Line] = appendNode(varMap[storeLoc.Line], storeLoc.Home)
+		varMap[storeLoc.Line] = appendNode(varMap[storeLoc.Line][:0], storeLoc.Home)
 
 		// Aggregate statement metrics.
 		mv := plan.Movement + extra

@@ -203,14 +203,14 @@ func (s *Schedule) emitTasks(m *mesh.Mesh, plan *StatementPlan, an *PlanAnalysis
 			Iter:   iter,
 			Window: window,
 		}
-		t.Fetches = append(t.Fetches, vertexFetches(plan, v)...)
+		t.Fetches = append(t.Fetches, vertexFetches(plan, v, node)...)
 		for _, c := range an.Children[v] {
 			if ct := taskOf[c]; ct != nil {
 				t.addWait(ct.ID, m.Distance(ct.Node, node))
 				s.SyncsBefore++
 				continue
 			}
-			t.Fetches = append(t.Fetches, vertexFetches(plan, c)...)
+			t.Fetches = append(t.Fetches, vertexFetches(plan, c, node)...)
 		}
 		lt.add(node, cost)
 		s.Tasks = append(s.Tasks, t)
@@ -220,8 +220,14 @@ func (s *Schedule) emitTasks(m *mesh.Mesh, plan *StatementPlan, an *PlanAnalysis
 }
 
 // vertexFetches lists the line accesses a vertex contributes: one per
-// resident line, flagged with its service level.
-func vertexFetches(plan *StatementPlan, v int) []Fetch {
+// resident line, flagged with its service level. ReusedLines promised an
+// L1 copy at the vertex's planned node; when the consuming task runs
+// elsewhere (load-balance hoist, or a pure data vertex folded into a
+// parent on another node) the hit claim does not transfer — the line must
+// travel from the planned node — so L1Hit is only kept when the task node
+// matches. The emission loop re-marks genuine hits against the consuming
+// node's shadow L1 afterwards.
+func vertexFetches(plan *StatementPlan, v int, taskNode mesh.NodeID) []Fetch {
 	pv := plan.Vertices[v]
 	out := make([]Fetch, 0, len(pv.Lines))
 	for _, line := range pv.Lines {
@@ -229,7 +235,7 @@ func vertexFetches(plan *StatementPlan, v int) []Fetch {
 			From:   pv.Node,
 			Line:   line,
 			L2Miss: containsLine(pv.MissLines, line),
-			L1Hit:  containsLine(pv.ReusedLines, line),
+			L1Hit:  taskNode == pv.Node && containsLine(pv.ReusedLines, line),
 		})
 	}
 	return out

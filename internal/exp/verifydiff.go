@@ -64,8 +64,13 @@ type VerifyDiffResult struct {
 	// schedule preserves every dependence.
 	Violations []string
 	// Warnings counts advisory findings (redundant arcs, wrapping
-	// subscripts, stale reuse) across all runs.
+	// subscripts) across all runs.
 	Warnings int
+	// KindCounts aggregates the per-kind diagnostic tallies of every run.
+	// KindCounts[verify.KindStaleReuse] must be zero: a stale L1 reuse is a
+	// Violation under the write-invalidate coherence model, and the emitters
+	// are required to never plan one.
+	KindCounts map[verify.Kind]int
 }
 
 // VerifyDiff exposes the differential verification harness as an experiment
@@ -83,13 +88,15 @@ func (r *Runner) VerifyDiff() (*Experiment, error) {
 		PaperClaim: "the emitted task DAG orders every RAW/WAR/WAW dependence (Section 4.4 correctness argument)",
 		Table: &stats.Table{Header: []string{"Metric", "Value"}},
 		Headline: map[string]float64{
-			"violations": float64(len(res.Violations)),
+			"violations":  float64(len(res.Violations)),
+			"stale_reuse": float64(res.KindCounts[verify.KindStaleReuse]),
 		},
 	}
 	e.Table.Add("schedules verified", res.Runs)
 	e.Table.Add("dependence pairs checked", res.DepsChecked)
 	e.Table.Add("violations", len(res.Violations))
 	e.Table.Add("advisory warnings", res.Warnings)
+	e.Table.Add("stale-reuse violations", res.KindCounts[verify.KindStaleReuse])
 	for i, v := range res.Violations {
 		if i == 3 {
 			e.Table.Add("...", fmt.Sprintf("%d more", len(res.Violations)-3))
@@ -157,7 +164,7 @@ func randProgram(rng *rand.Rand) string {
 func VerifyDifferential(cfg VerifyDiffConfig) (*VerifyDiffResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &VerifyDiffResult{}
+	res := &VerifyDiffResult{KindCounts: make(map[verify.Kind]int)}
 
 	for p := 0; p < cfg.Programs; p++ {
 		src := randProgram(rng)
@@ -188,6 +195,9 @@ func VerifyDifferential(cfg VerifyDiffConfig) (*VerifyDiffResult, error) {
 			res.Runs++
 			res.DepsChecked += rep.DepsChecked
 			res.Warnings += rep.WarningCount
+			for k, c := range rep.Counts {
+				res.KindCounts[k] += c
+			}
 			for _, d := range rep.Violations {
 				res.Violations = append(res.Violations,
 					fmt.Sprintf("program %d %s: %s\n%s", p, variant, d, src))

@@ -30,7 +30,11 @@ func TestVerifyDifferentialAllVariantsClean(t *testing.T) {
 		t.Fatalf("%d schedule(s) violate dependences; first:\n%s",
 			len(res.Violations), strings.Join(res.Violations[:1], "\n"))
 	}
-	t.Logf("verified %d runs, %d dependence pairs, %d warnings", res.Runs, res.DepsChecked, res.Warnings)
+	if n := res.KindCounts[verify.KindStaleReuse]; n != 0 {
+		t.Fatalf("%d stale-reuse violation(s): an emitter planned an L1 hit on an invalidated copy", n)
+	}
+	t.Logf("verified %d runs, %d dependence pairs, %d warnings, kinds %v",
+		res.Runs, res.DepsChecked, res.Warnings, res.KindCounts)
 }
 
 // TestWorkloadSchedulesVerifyClean runs the verifier over every shipped

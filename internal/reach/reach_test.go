@@ -1,0 +1,172 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveReach computes reachability by per-query DFS — the oracle.
+type naiveReach struct {
+	n     int
+	succs [][]int
+}
+
+func (nr *naiveReach) reaches(a, b int) bool {
+	if a == b {
+		return a >= 0 && a < nr.n
+	}
+	if a < 0 || b < 0 || a >= nr.n || b >= nr.n {
+		return false
+	}
+	seen := make([]bool, nr.n)
+	stack := []int{a}
+	seen[a] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range nr.succs[u] {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func TestChainAndDiamond(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 and a diamond 0 -> {4,5} -> 6.
+	b := NewBuilder(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {0, 5}, {4, 6}, {5, 6}} {
+		b.Edge(e[0], e[1])
+	}
+	ix, stuck := b.Build(0)
+	if ix == nil {
+		t.Fatalf("unexpected cycle: stuck=%v", stuck)
+	}
+	want := map[[2]int]bool{
+		{0, 3}: true, {1, 3}: true, {3, 0}: false,
+		{0, 6}: true, {4, 6}: true, {5, 6}: true,
+		{4, 5}: false, {1, 6}: false, {6, 6}: true,
+	}
+	for q, w := range want {
+		if got := ix.Reaches(q[0], q[1]); got != w {
+			t.Errorf("Reaches(%d,%d) = %v, want %v", q[0], q[1], got, w)
+		}
+	}
+}
+
+func TestCycleReported(t *testing.T) {
+	b := NewBuilder(4)
+	b.Edge(0, 1)
+	b.Edge(1, 2)
+	b.Edge(2, 1) // cycle 1 <-> 2
+	b.Edge(2, 3)
+	ix, stuck := b.Build(0)
+	if ix != nil {
+		t.Fatalf("expected nil index on cyclic graph")
+	}
+	if len(stuck) == 0 {
+		t.Fatalf("expected stuck vertices")
+	}
+	for _, v := range stuck {
+		if v == 0 {
+			t.Errorf("vertex 0 is not behind the cycle but listed stuck")
+		}
+	}
+}
+
+func TestEdgeIgnoresBadEndpoints(t *testing.T) {
+	b := NewBuilder(2)
+	b.Edge(-1, 0)
+	b.Edge(0, 5)
+	b.Edge(1, 1)
+	b.Edge(0, 1)
+	ix, _ := b.Build(0)
+	if ix == nil {
+		t.Fatal("bad endpoints must not corrupt the graph")
+	}
+	if !ix.Reaches(0, 1) || ix.Reaches(1, 0) {
+		t.Fatal("surviving edge 0->1 answered wrong")
+	}
+	if ix.Reaches(-1, 0) || ix.Reaches(0, 5) {
+		t.Fatal("out-of-range queries must be false")
+	}
+}
+
+// TestAgainstOracle drives random DAGs through every chain-budget regime —
+// all chains indexed, some indexed, none indexed — and requires exact
+// agreement with the DFS oracle on every pair.
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(70)
+		nr := &naiveReach{n: n, succs: make([][]int, n)}
+		b := NewBuilder(n)
+		edges := rng.Intn(3 * n)
+		for e := 0; e < edges; e++ {
+			// Edges forward in ID space keep the graph acyclic.
+			from := rng.Intn(n - 1)
+			to := from + 1 + rng.Intn(n-from-1)
+			b.Edge(from, to)
+			nr.succs[from] = append(nr.succs[from], to)
+		}
+		budget := 0
+		switch trial % 3 {
+		case 1:
+			budget = 1 + rng.Intn(4) // force a residue
+		case 2:
+			budget = n // everything indexed
+		}
+		ix, stuck := b.Build(budget)
+		if ix == nil {
+			t.Fatalf("trial %d: acyclic graph reported cyclic (stuck %v)", trial, stuck)
+		}
+		for a := 0; a < n; a++ {
+			for bb := 0; bb < n; bb++ {
+				if got, want := ix.Reaches(a, bb), nr.reaches(a, bb); got != want {
+					t.Fatalf("trial %d (n=%d budget=%d): Reaches(%d,%d)=%v oracle=%v",
+						trial, n, budget, a, bb, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChainBudgetIsSoft(t *testing.T) {
+	// A wide fan: 1 source, 63 sinks -> 64 chains. Budget 4 keeps the
+	// longest 4; answers must not change.
+	b := NewBuilder(64)
+	for i := 1; i < 64; i++ {
+		b.Edge(0, i)
+	}
+	ix, _ := b.Build(4)
+	if ix == nil {
+		t.Fatal("unexpected cycle")
+	}
+	total, indexed := ix.Chains()
+	if indexed != 4 {
+		t.Fatalf("indexed = %d, want 4 (total %d)", indexed, total)
+	}
+	for i := 1; i < 64; i++ {
+		if !ix.Reaches(0, i) {
+			t.Fatalf("Reaches(0,%d) lost under the chain budget", i)
+		}
+		if ix.Reaches(i, 0) || (i > 1 && ix.Reaches(i, i-1)) {
+			t.Fatalf("spurious reachability at %d", i)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	ix, _ := NewBuilder(0).Build(0)
+	if ix == nil {
+		t.Fatal("empty graph must build")
+	}
+	if ix.Reaches(0, 0) {
+		t.Fatal("no vertices exist")
+	}
+}

@@ -1,16 +1,22 @@
 package verify
 
-import "dmacp/internal/core"
+import (
+	"dmacp/internal/core"
+	"dmacp/internal/reach"
+)
 
-// Closure is a happens-before relation over a task DAG, stored as one
-// ancestor bitset per task: bit a of row b is set exactly when task a is
-// ordered strictly before task b. With dense task IDs the closure costs
-// n*n/64 words, which is what makes whole-schedule verification tractable
-// (a 4k-task nest fits in 2 MB).
+// Closure is a happens-before relation over a task DAG, backed by the
+// chain-decomposed reachability index in internal/reach: per-task ancestor
+// labels over topological chains, with an on-demand BFS for chains beyond
+// the memory budget. Unlike the ancestor-bitset representation it replaced
+// (O(n²/64) words — a 100k-task nest would have needed 1.25 GB and was
+// refused outright), the index costs O(n · chains); with per-node program
+// order included the chain count collapses to roughly the mesh size, so a
+// 100k-task nest fits in a few tens of megabytes.
+//
+// A Closure reuses query scratch and must not be queried concurrently.
 type Closure struct {
-	n     int
-	words int
-	bits  []uint64
+	ix *reach.Index
 }
 
 // BuildClosure computes the reachability closure of the tasks under the
@@ -23,19 +29,21 @@ type Closure struct {
 // cycle the closure is nil and the second result lists the (capped) IDs of
 // tasks stuck on or behind the cycle — the tasks that would deadlock.
 func BuildClosure(tasks []*core.Task, sameNodeOrder bool) (*Closure, []int) {
+	return buildClosureBounded(tasks, sameNodeOrder, 0)
+}
+
+// buildClosureBounded is BuildClosure with an explicit soft memory bound:
+// maxClosureTasks is converted into an indexed-chain budget equal to what
+// the old bitset closure would have spent at that many tasks (n²/8 bytes),
+// so Options.MaxClosureTasks keeps its historical meaning as a memory knob
+// without refusing anything. maxClosureTasks <= 0 means the default 20000.
+func buildClosureBounded(tasks []*core.Task, sameNodeOrder bool, maxClosureTasks int) (*Closure, []int) {
 	n := len(tasks)
-	preds := make([][]int, n)
-	succs := make([][]int, n)
-	indeg := make([]int, n)
-	addEdge := func(from, to int) {
-		preds[to] = append(preds[to], from)
-		succs[from] = append(succs[from], to)
-		indeg[to]++
-	}
+	b := reach.NewBuilder(n)
 	for i, t := range tasks {
 		for _, p := range t.WaitFor {
 			if p >= 0 && p < n && p != i {
-				addEdge(p, i)
+				b.Edge(p, i)
 			}
 		}
 	}
@@ -43,53 +51,37 @@ func BuildClosure(tasks []*core.Task, sameNodeOrder bool) (*Closure, []int) {
 		lastOn := make(map[int]int)
 		for i, t := range tasks {
 			if prev, ok := lastOn[int(t.Node)]; ok {
-				addEdge(prev, i)
+				b.Edge(prev, i)
 			}
 			lastOn[int(t.Node)] = i
 		}
 	}
-
-	order := make([]int, 0, n)
-	queue := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
-		for _, s := range succs[v] {
-			if indeg[s]--; indeg[s] == 0 {
-				queue = append(queue, s)
-			}
-		}
-	}
-	if len(order) != n {
-		const maxListed = 16
-		var stuck []int
-		for i := 0; i < n && len(stuck) < maxListed; i++ {
-			if indeg[i] > 0 {
-				stuck = append(stuck, i)
-			}
-		}
+	ix, stuck := b.Build(chainBudget(maxClosureTasks, n))
+	if ix == nil {
 		return nil, stuck
 	}
+	return &Closure{ix: ix}, nil
+}
 
-	words := (n + 63) / 64
-	c := &Closure{n: n, words: words, bits: make([]uint64, n*words)}
-	for _, v := range order {
-		row := c.bits[v*words : (v+1)*words]
-		for _, p := range preds[v] {
-			prow := c.bits[p*words : (p+1)*words]
-			for w := range row {
-				row[w] |= prow[w]
-			}
-			row[p/64] |= 1 << (uint(p) % 64)
-		}
+// chainBudget converts the MaxClosureTasks soft memory bound into an
+// indexed-chain count: budget bytes = maxTasks²/8 (the bitset's cost at the
+// bound), labels cost 4·n bytes per chain, clamped to [16, 512] so tiny
+// budgets stay correct (BFS residue) and huge ones stay bounded.
+func chainBudget(maxTasks, n int) int {
+	if maxTasks <= 0 {
+		maxTasks = 20000
 	}
-	return c, nil
+	if n == 0 {
+		return 16
+	}
+	budget := maxTasks * maxTasks / 8 / (4 * n)
+	if budget < 16 {
+		budget = 16
+	}
+	if budget > 512 {
+		budget = 512
+	}
+	return budget
 }
 
 // Ordered reports whether task a happens before task b (or a == b). It is
@@ -99,25 +91,26 @@ func (c *Closure) Ordered(a, b int) bool {
 	if a == b {
 		return true
 	}
-	if a < 0 || b < 0 || a >= c.n || b >= c.n {
-		return false
-	}
-	return c.bits[b*c.words+a/64]&(1<<(uint(a)%64)) != 0
+	return c.ix.Reaches(a, b)
 }
 
 // Len returns the number of tasks the closure covers.
-func (c *Closure) Len() int { return c.n }
+func (c *Closure) Len() int { return c.ix.Len() }
 
 // Equal reports whether two closures describe the identical partial order.
 // The ReduceSyncs tests use it to prove arc elimination never changes task
-// ordering.
+// ordering. It compares the orders pairwise (O(n²) queries), which is fine
+// at test scale; it is not meant for production-size schedules.
 func (c *Closure) Equal(o *Closure) bool {
-	if o == nil || c.n != o.n {
+	if o == nil || c.Len() != o.Len() {
 		return false
 	}
-	for i, w := range c.bits {
-		if w != o.bits[i] {
-			return false
+	n := c.Len()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if c.Ordered(a, b) != o.Ordered(a, b) {
+				return false
+			}
 		}
 	}
 	return true

@@ -1,0 +1,98 @@
+package verify
+
+import "dmacp/internal/core"
+
+// bitsetClosure is the pre-interval closure representation — one ancestor
+// bitset per task, n²/64 words — retained as a test-only reference
+// implementation. The differential fuzz target and the closure benchmarks
+// compare the production chain-decomposed index against it; production
+// code must never grow a dependency on it (quadratic memory is exactly
+// what the interval index removed).
+type bitsetClosure struct {
+	n     int
+	words int
+	bits  []uint64
+}
+
+// buildBitsetClosure mirrors BuildClosure's graph construction (WaitFor
+// arcs plus optional per-node program order, Kahn's algorithm, stuck list
+// on cycles) over the old representation.
+func buildBitsetClosure(tasks []*core.Task, sameNodeOrder bool) (*bitsetClosure, []int) {
+	n := len(tasks)
+	preds := make([][]int, n)
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(from, to int) {
+		preds[to] = append(preds[to], from)
+		succs[from] = append(succs[from], to)
+		indeg[to]++
+	}
+	for i, t := range tasks {
+		for _, p := range t.WaitFor {
+			if p >= 0 && p < n && p != i {
+				addEdge(p, i)
+			}
+		}
+	}
+	if sameNodeOrder {
+		lastOn := make(map[int]int)
+		for i, t := range tasks {
+			if prev, ok := lastOn[int(t.Node)]; ok {
+				addEdge(prev, i)
+			}
+			lastOn[int(t.Node)] = i
+		}
+	}
+
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range succs[v] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		const maxListed = 16
+		var stuck []int
+		for i := 0; i < n && len(stuck) < maxListed; i++ {
+			if indeg[i] > 0 {
+				stuck = append(stuck, i)
+			}
+		}
+		return nil, stuck
+	}
+
+	words := (n + 63) / 64
+	c := &bitsetClosure{n: n, words: words, bits: make([]uint64, n*words)}
+	for _, v := range order {
+		row := c.bits[v*words : (v+1)*words]
+		for _, p := range preds[v] {
+			prow := c.bits[p*words : (p+1)*words]
+			for w := range row {
+				row[w] |= prow[w]
+			}
+			row[p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	return c, nil
+}
+
+func (c *bitsetClosure) Ordered(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a < 0 || b < 0 || a >= c.n || b >= c.n {
+		return false
+	}
+	return c.bits[b*c.words+a/64]&(1<<(uint(a)%64)) != 0
+}

@@ -37,9 +37,12 @@ const (
 	// KindUnresolved: a reference could not be resolved to an address and
 	// the emitter's documented fallback anchoring was assumed. Advisory.
 	KindUnresolved
-	// KindStaleReuse: a read is satisfied from an L1 copy created before
-	// the line's latest write — an ordering-correct schedule whose reuse
-	// model would observe a stale value on coherent hardware. Advisory.
+	// KindStaleReuse: a read claims an L1 hit on a line whose copy the
+	// write-invalidate model no longer holds at the reader's node (the
+	// latest store killed it, or it was never created). Such a schedule
+	// would observe a stale value on coherent hardware, so this is a
+	// Violation — the emitters' reuse maps and shadow L1s model the same
+	// invalidation, keeping clean schedules clean.
 	KindStaleReuse
 )
 
@@ -148,6 +151,10 @@ type Report struct {
 	// RedundantArcs counts WaitFor arcs already implied by the remaining
 	// arc structure (sync-sufficiency accounting).
 	RedundantArcs int
+	// Counts tallies every diagnostic by kind — violations and warnings
+	// together, uncapped — so callers (the -strict CLI mode, the
+	// differential harness) can hold individual kinds at zero.
+	Counts map[Kind]int
 }
 
 // Clean reports whether the schedule verified without violations.
@@ -180,9 +187,35 @@ func (r *Report) Lines() []string {
 	return out
 }
 
+// KindSummary renders the per-kind diagnostic tally in kind order
+// ("WAR=1 stale-reuse=3"), or "none" for a finding-free report.
+func (r *Report) KindSummary() string {
+	if len(r.Counts) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for k := KindRAW; k <= KindStaleReuse; k++ {
+		if c := r.Counts[k]; c > 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%d", k, c)
+		}
+	}
+	return b.String()
+}
+
+func (r *Report) count(k Kind) {
+	if r.Counts == nil {
+		r.Counts = make(map[Kind]int)
+	}
+	r.Counts[k]++
+}
+
 func (r *Report) addViolation(d RaceDiagnostic, max int) {
 	d.Severity = Violation
 	r.ViolationCount++
+	r.count(d.Kind)
 	if len(r.Violations) < max {
 		r.Violations = append(r.Violations, d)
 	}
@@ -191,6 +224,7 @@ func (r *Report) addViolation(d RaceDiagnostic, max int) {
 func (r *Report) addWarning(d RaceDiagnostic, max int) {
 	d.Severity = Warning
 	r.WarningCount++
+	r.count(d.Kind)
 	if len(r.Warnings) < max {
 		r.Warnings = append(r.Warnings, d)
 	}

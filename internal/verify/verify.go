@@ -9,8 +9,10 @@
 // system executes: the simulator visits tasks in ID order and serializes
 // tasks sharing a node, and the generated per-node programs preserve the
 // same order; across nodes only WaitFor arcs order tasks. The verifier
-// builds the transitive closure of that relation as per-task bitsets
-// (BuildClosure), enumerates instance-level accesses from the affine/indirect
+// builds a chain-decomposed reachability index over that relation
+// (BuildClosure, backed by internal/reach — linear in tasks times chains,
+// so full-size schedules verify without a task cap), enumerates
+// instance-level accesses from the affine/indirect
 // access functions in internal/ir exactly the way the emitters resolve them
 // (same AddrOf calls, same fallback anchoring, and the emitter's own
 // first-touch page table), and then replays the schedule's fetches and
@@ -23,7 +25,9 @@
 // core.ReduceSyncs), affine out-of-bounds detection against declared array
 // extents, instance completeness (every required operand line is fetched by
 // some task of the instance; the root stores the line the IR writes), and
-// stale-L1-reuse detection.
+// coherence checking: the replay models write-invalidate L1s, and an L1 hit
+// served by a copy a store has killed (or that the model never saw created)
+// is a Violation, not an advisory.
 package verify
 
 import (
@@ -72,9 +76,12 @@ type Options struct {
 	// MaxDiagnostics caps how many diagnostics of each severity the report
 	// retains (counts keep running past the cap). Default 16.
 	MaxDiagnostics int
-	// MaxClosureTasks bounds the bitset closure: schedules with more tasks
-	// are refused with an error rather than silently skipped, since the
-	// closure is quadratic in memory. Default 20000 (~50 MB per closure).
+	// MaxClosureTasks is a soft memory bound on the reachability index: it
+	// is converted into an indexed-chain budget equal to what the old
+	// ancestor-bitset closure would have spent at that many tasks (n²/8
+	// bytes). Schedules of any size are accepted — queries past the budget
+	// fall back to an on-demand BFS, trading time, never correctness.
+	// Default 20000 (~50 MB of chain labels).
 	MaxClosureTasks int
 }
 
@@ -92,9 +99,10 @@ func (o Options) withDefaults() Options {
 const noTask = -1
 
 // Check runs the verifier. The returned error reports infrastructure
-// problems (missing inputs, schedule too large for the closure); semantic
-// findings land in the report, whose Err method turns violations into an
-// error.
+// problems (missing inputs); semantic findings land in the report, whose
+// Err method turns violations into an error. There is no task-count
+// refusal: the chain-decomposed closure handles production-size schedules,
+// with MaxClosureTasks only bounding the index's memory.
 func Check(in Input, o Options) (*Report, error) {
 	o = o.withDefaults()
 	if in.Schedule == nil {
@@ -104,10 +112,6 @@ func Check(in Input, o Options) (*Report, error) {
 		return nil, fmt.Errorf("verify: nil mesh")
 	}
 	tasks := in.Schedule.Tasks
-	if len(tasks) > o.MaxClosureTasks {
-		return nil, fmt.Errorf("verify: schedule has %d tasks, above MaxClosureTasks=%d (raise it, or wait for the interval-closure follow-up)",
-			len(tasks), o.MaxClosureTasks)
-	}
 
 	rep := &Report{Tasks: len(tasks), Instances: in.Schedule.Instances}
 
@@ -122,7 +126,7 @@ func Check(in Input, o Options) (*Report, error) {
 
 	// Happens-before closure over WaitFor arcs plus per-node program order.
 	// A cycle means the schedule deadlocks; no order-based check is possible.
-	hb, stuck := BuildClosure(tasks, true)
+	hb, stuck := buildClosureBounded(tasks, true, o.MaxClosureTasks)
 	if hb == nil {
 		rep.addViolation(RaceDiagnostic{
 			Kind: KindDeadlock, EarlierTask: noTask, LaterTask: noTask,
@@ -164,8 +168,18 @@ func lineOf(in Input, va uint64) (uint64, bool) {
 // last write ordered before the next writer) and WAW (writers of one line
 // ordered). Tracking one reader per (line, node) suffices because same-node
 // predecessors are always ordered by per-node program order, which the
-// closure includes. It also flags stale L1 reuse: a hit served by a copy
-// created before the line's latest write.
+// closure includes.
+//
+// The copy model is write-invalidate, mirroring the emitters' shadow L1s:
+// a store replaces the line's copy set with the writer's node alone, so an
+// L1 hit on a written line is legitimate only when the replaying model
+// holds a copy at the reader's node that postdates the latest write, or
+// when the hit is a store-to-load forward — the fetch sources the writer's
+// node and is ordered after the write, so the fresh line travels with the
+// producer handshake (a cache-to-cache transfer) and refreshes the
+// reader's copy. A hit with neither justification — killed by
+// invalidation, or never created — would observe a stale value on
+// coherent hardware and is a Violation.
 func checkRaces(in Input, o Options, rep *Report, hb *Closure) {
 	tasks := in.Schedule.Tasks
 	lastWrite := make(map[uint64]int)          // line -> writer task
@@ -197,10 +211,26 @@ func checkRaces(in Input, o Options, rep *Report, hb *Closure) {
 						"flow dependence unordered: no wait path from the write to the read"), o.MaxDiagnostics)
 				}
 				if f.L1Hit {
-					if c, okc := copies[f.Line][int(t.Node)]; okc && c < w && !reported[pair(c, t.ID, f.Line)] {
-						reported[pair(c, t.ID, f.Line)] = true
-						rep.addWarning(diag(KindStaleReuse, tasks[w], t, f.Line,
-							fmt.Sprintf("L1 copy created by task %d predates the write; a coherent machine would refetch", c)), o.MaxDiagnostics)
+					c, okc := copies[f.Line][int(t.Node)]
+					switch {
+					case okc && c >= w:
+						// Local reuse: the node's copy postdates the write.
+					case f.From == tasks[w].Node && hb.Ordered(w, t.ID):
+						// Store-to-load forwarding: the fetch sources the
+						// writer's node — where the only post-invalidation copy
+						// lives — and is ordered after the write, so the fresh
+						// line rides the producer handshake into this node's L1.
+						if copies[f.Line] == nil {
+							copies[f.Line] = make(map[int]int)
+						}
+						copies[f.Line][int(t.Node)] = t.ID
+					case !reported[pair(w, t.ID, f.Line)]:
+						reported[pair(w, t.ID, f.Line)] = true
+						detail := fmt.Sprintf("L1 hit but the write invalidated the node's copy; a coherent machine would refetch (write by task %d)", w)
+						if okc {
+							detail = fmt.Sprintf("L1 copy created by task %d predates the write; a coherent machine would refetch", c)
+						}
+						rep.addViolation(diag(KindStaleReuse, tasks[w], t, f.Line, detail), o.MaxDiagnostics)
 					}
 				}
 			}
@@ -251,6 +281,8 @@ func checkRaces(in Input, o Options, rep *Report, hb *Closure) {
 		}
 		delete(readers, line)
 		lastWrite[line] = t.ID
+		// Write-invalidate: the store leaves exactly one valid copy of the
+		// line — the writer's node.
 		copies[line] = map[int]int{int(t.Node): t.ID}
 	}
 }
@@ -416,7 +448,7 @@ func subscriptString(ref *ir.Ref) string {
 // view that cross-validates core.ReduceSyncs — removing a flagged arc can
 // never change the partial order.
 func checkRedundancy(in Input, o Options, rep *Report) {
-	arcHB, _ := BuildClosure(in.Schedule.Tasks, false)
+	arcHB, _ := buildClosureBounded(in.Schedule.Tasks, false, o.MaxClosureTasks)
 	if arcHB == nil {
 		return // cycle already reported as a deadlock by the caller
 	}

@@ -300,10 +300,72 @@ func TestPartitionHookGatesPartition(t *testing.T) {
 	}
 }
 
-func TestMaxClosureTasksRefusal(t *testing.T) {
-	in, _ := partitionInput(t, "A(i) = B(i)", 8, 1<<10)
-	if _, err := verify.Check(in, verify.Options{MaxClosureTasks: 1}); err == nil {
-		t.Fatal("expected an error for a schedule above MaxClosureTasks")
+// TestMaxClosureTasksIsSoftBound replaces the old refusal test: with the
+// chain-decomposed closure, MaxClosureTasks only budgets index memory, so
+// even an absurdly small bound must verify the schedule — correctly.
+func TestMaxClosureTasksIsSoftBound(t *testing.T) {
+	in, _ := partitionInput(t, raceKernel, 64, 1<<10)
+	rep, err := verify.Check(in, verify.Options{MaxClosureTasks: 1})
+	if err != nil {
+		t.Fatalf("schedule refused under a small MaxClosureTasks: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("tight memory bound changed verification results:\n%s\n%v", rep.Summary(), rep.Lines())
+	}
+	if rep.DepsChecked == 0 {
+		t.Fatal("no dependence pairs checked under the tight bound")
+	}
+}
+
+// TestStaleReuseViolation seeds both stale-hit shapes the write-invalidate
+// model must reject: a hit on a copy that predates the latest store, and a
+// hit at a node the model never saw create a copy. Both are Violations.
+func TestStaleReuseViolation(t *testing.T) {
+	m := mesh.MustNew(2, 2)
+	const line = uint64(64)
+	// The stale claims source node 0 (whose copy predates the store, or which
+	// never held one) rather than the writer's node, so the store-to-load
+	// forwarding rule does not apply.
+	build := func(hitNode mesh.NodeID, from mesh.NodeID) *core.Schedule {
+		t0 := &core.Task{ID: 0, Node: 0, Iter: 0,
+			Fetches: []core.Fetch{{From: 1, Line: line}}} // real fetch: copy at node 0
+		t1 := &core.Task{ID: 1, Node: 1, Iter: 1, IsRoot: true, ResultLine: line,
+			WaitFor: []int{0}, WaitHops: []int{m.Distance(0, 1)}} // store invalidates
+		t2 := &core.Task{ID: 2, Node: hitNode, Iter: 2,
+			Fetches: []core.Fetch{{From: from, Line: line, L1Hit: true}},
+			WaitFor: []int{1}, WaitHops: []int{m.Distance(1, hitNode)}}
+		return &core.Schedule{Tasks: []*core.Task{t0, t1, t2}, Instances: 1}
+	}
+	for name, hitNode := range map[string]mesh.NodeID{"killed-copy": 0, "never-created": 2} {
+		rep, err := verify.Check(verify.Input{Schedule: build(hitNode, 0), Mesh: m}, verify.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Clean() {
+			t.Fatalf("%s: stale L1 hit not a violation: %s", name, rep.Summary())
+		}
+		found := false
+		for _, d := range rep.Violations {
+			if d.Kind == verify.KindStaleReuse && d.LaterTask == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no stale-reuse violation naming task 2: %v", name, rep.Lines())
+		}
+		if rep.Counts[verify.KindStaleReuse] == 0 {
+			t.Fatalf("%s: per-kind tally missing stale-reuse: %v", name, rep.Counts)
+		}
+	}
+	// A hit sourcing the writer's own node, ordered after the write, is a
+	// store-to-load forward: the fresh line rides the handshake and the claim
+	// is coherent.
+	rep, err := verify.Check(verify.Input{Schedule: build(2, 1), Mesh: m}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("forwarded hit rejected: %s", rep.Summary())
 	}
 }
 

@@ -241,10 +241,13 @@ func CheckAppSchedules(app string, iters, elems int, cfg Config) ([]ScheduleChec
 				return fmt.Errorf("pipeline: verifying %s: %w", name, err)
 			}
 			out = append(out, ScheduleCheck{
-				Schedule:    name,
-				Clean:       rep.Clean(),
-				Summary:     rep.Summary(),
-				Diagnostics: rep.Lines(),
+				Schedule:       name,
+				Clean:          rep.Clean(),
+				Summary:        rep.Summary(),
+				Diagnostics:    rep.Lines(),
+				ViolationCount: len(rep.Violations),
+				WarningCount:   len(rep.Warnings),
+				Kinds:          rep.KindSummary(),
 			})
 			return nil
 		}

@@ -367,6 +367,10 @@ type ScheduleCheck struct {
 	// first; each race names the two statement instances, their tasks and
 	// mesh nodes, and the contended line.
 	Diagnostics []string
+	// ViolationCount and WarningCount are the retained finding totals; Kinds
+	// is the uncapped per-kind tally ("WAR=1 stale-reuse=3", or "none").
+	ViolationCount, WarningCount int
+	Kinds                        string
 }
 
 // CheckSchedules builds the kernel, emits both the partitioner's optimized
@@ -398,10 +402,13 @@ func CheckSchedules(k Kernel, cfg Config) ([]ScheduleCheck, error) {
 			return fmt.Errorf("pipeline: verifying %s schedule: %w", name, err)
 		}
 		out = append(out, ScheduleCheck{
-			Schedule:    name,
-			Clean:       rep.Clean(),
-			Summary:     rep.Summary(),
-			Diagnostics: rep.Lines(),
+			Schedule:       name,
+			Clean:          rep.Clean(),
+			Summary:        rep.Summary(),
+			Diagnostics:    rep.Lines(),
+			ViolationCount: len(rep.Violations),
+			WarningCount:   len(rep.Warnings),
+			Kinds:          rep.KindSummary(),
 		})
 		return nil
 	}
