@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build test test-short vet staticcheck race fuzz-smoke verify verifybig faultsweep bench-closure check
+.PHONY: build test test-short vet staticcheck race fuzz-smoke verify verifybig faultsweep bench-closure bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,10 @@ staticcheck:
 		echo "staticcheck: not installed; skipping (go vet still gates)"; \
 	fi
 
+# The full test suite under the race detector: the worker pool, the
+# singleflighted experiment cache and the distance caches must stay clean.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./...
 
 # A bounded run of every native fuzz target, as a smoke test; the committed
 # corpora under internal/*/testdata/fuzz replay on every plain `go test`.
@@ -62,5 +64,14 @@ faultsweep:
 bench-closure:
 	$(GO) test ./internal/verify/ -run '^$$' -bench BenchmarkClosure -benchmem
 
-check: build vet staticcheck test race verifybig faultsweep
+# Per-experiment benchmarks (one per table/figure of the paper).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Benchmark-trajectory harness: micro hot-path costs + serial-vs-parallel
+# suite timings + table byte-identity check, recorded to BENCH_5.json.
+bench-json: build
+	$(GO) run ./cmd/dmacp bench -o BENCH_5.json
+
+check: build vet staticcheck test race verifybig faultsweep bench-json
 	@echo "check: all gates passed"

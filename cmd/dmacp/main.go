@@ -29,6 +29,15 @@
 //
 //	dmacp faults -links 3 -tiles 1 -fseed 7
 //	dmacp faults -kill-tiles "0,5,30,35"   # kills every MC: unrepairable
+//
+// The bench subcommand is the benchmark-trajectory harness: it measures the
+// hot-path micro costs, times the experiment suite serial versus parallel,
+// asserts the two runs produce byte-identical tables, and writes BENCH_5.json:
+//
+//	dmacp bench -o BENCH_5.json
+//
+// All commands accept -j N to bound the worker pool (<= 0 means one worker
+// per CPU, 1 forces serial execution); results are identical at every setting.
 package main
 
 import (
@@ -59,6 +68,7 @@ func runVerify(args []string) {
 		seed    = fs.Int64("seed", 1, "deterministic data seed")
 		quiet   = fs.Bool("q", false, "print violations only, no summaries")
 		strict  = fs.Bool("strict", false, "treat warnings as failures (non-zero exit)")
+		jobs    = fs.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
 	)
 	fs.Parse(args)
 
@@ -67,6 +77,7 @@ func runVerify(args []string) {
 		cfg.ClusterMode = *cluster
 		cfg.FixedWindow = *window
 		cfg.MeshCols, cfg.MeshRows = *cols, *rows
+		cfg.Jobs = *jobs
 		return cfg
 	}
 	report := func(checks []pipeline.ScheduleCheck) (failed bool) {
@@ -162,6 +173,7 @@ func runFaults(args []string) {
 		killLinks = fs.String("kill-links", "", "explicit dead links, e.g. \"0-1,7-13\"")
 		killRtrs  = fs.String("kill-routers", "", "explicit dead routers, e.g. \"14,21\"")
 		killTiles = fs.String("kill-tiles", "", "explicit dead tiles, e.g. \"0,5,30,35\"")
+		jobs      = fs.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
 	)
 	fs.Parse(args)
 
@@ -177,6 +189,7 @@ func runFaults(args []string) {
 	cfg.ClusterMode = *cluster
 	cfg.FixedWindow = *window
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
+	cfg.Jobs = *jobs
 	spec := pipeline.FaultSpec{
 		Links: *links, Routers: *routers, Tiles: *tiles,
 		Seed: *fseed, ProtectMCs: *protect,
@@ -217,6 +230,10 @@ func main() {
 		runFaults(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	var (
 		stmts   = flag.String("stmts", "A(8*i) = B(8*i)+C(16*i)+D(8*i+64)+E(24*i)\nX(8*i) = Y(8*i)+C(16*i)", "loop body statements (';' or newline separated)")
 		iters   = flag.Int("iters", 256, "iterations of the i loop")
@@ -232,6 +249,7 @@ func main() {
 		emit    = flag.Int("emit", 0, "emit the generated per-node program, truncated to N tasks per node (0 = off, -1 = unlimited)")
 		asJSON  = flag.Bool("json", false, "print the report as JSON instead of text")
 		deps    = flag.Bool("deps", false, "print the static dependence analysis of the loop body")
+		jobs    = flag.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
 	)
 	flag.Parse()
 
@@ -248,6 +266,7 @@ func main() {
 	cfg.MemoryMode = *memMode
 	cfg.FixedWindow = *window
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
+	cfg.Jobs = *jobs
 
 	rep, err := pipeline.Run(k, cfg)
 	if err != nil {

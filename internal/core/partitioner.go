@@ -6,6 +6,7 @@ import (
 	"dmacp/internal/cache"
 	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
+	"dmacp/internal/par"
 )
 
 // Stats aggregates the per-statement metrics of one partitioned nest.
@@ -107,14 +108,24 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 		L1HitBySize:    make(map[int]float64),
 		UsedInspector:  usedInspector,
 	}
+	// Window-size trials are independent: each pass owns its locator, shadow
+	// caches and predictor copy, and only reads prog/nest/store (the inspector
+	// already ran above). They fan out on the worker pool; results land in
+	// indexed slots and are folded in window order below, so the selected pass
+	// — first minimum in window order — matches the serial sweep exactly.
+	sizes := opts.windowSizes()
+	prs := make([]*passResult, len(sizes))
+	errs := make([]error, len(sizes))
+	par.ForEach(opts.Jobs, len(sizes), func(i int) {
+		prs[i], errs[i] = runPass(prog, nest, store, &opts, sizes[i])
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
 	var best *passResult
-	for _, w := range opts.windowSizes() {
-		pr, err := runPass(prog, nest, store, &opts, w)
-		if err != nil {
-			return nil, err
-		}
-		res.MovementBySize[w] = pr.stats.TotalMovement
-		res.L1HitBySize[w] = pr.stats.L1HitRate
+	for i, pr := range prs {
+		res.MovementBySize[sizes[i]] = pr.stats.TotalMovement
+		res.L1HitBySize[sizes[i]] = pr.stats.L1HitRate
 		if best == nil || pr.stats.TotalMovement < best.stats.TotalMovement {
 			best = pr
 		}
@@ -145,6 +156,17 @@ type passResult struct {
 	offloadMix   map[ir.OpClass]int
 	labels       map[uint64]string
 	translations map[uint64]uint64
+}
+
+// stmtPre caches the per-statement invariants of the scheduling loop: the
+// nested variable sets, the flattened leaf operands, and the op accounting.
+// All fields are read-only once built.
+type stmtPre struct {
+	set      *ir.SetNode
+	leaves   []*ir.Ref
+	mix      map[ir.OpClass]int
+	ops      int
+	opWeight float64
 }
 
 // runPass performs one complete scheduling pass over the nest with a fixed
@@ -192,6 +214,26 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 	offload := make(map[ir.OpClass]int)
 	var sumPar, sumSub float64
 
+	// Statement-shape invariants — the nested variable sets, leaf list, op mix
+	// and op weight depend only on the statement, not the iteration — are
+	// computed once per statement instead of once per instance. The mix map is
+	// shared across instances; emitTasks only reads it.
+	dt := passOpts.Mesh.DistanceTable()
+	pre := make([]stmtPre, m)
+	for i, stmt := range body {
+		set := ir.NestedSets(stmt.RHS)
+		p := stmtPre{set: set, leaves: set.Leaves(nil), mix: stmt.OpMix(), ops: stmt.OpCount(1)}
+		p.opWeight = 1.0
+		if p.ops > 0 {
+			p.opWeight = float64(stmt.OpCount(passOpts.DivWeight)) / float64(p.ops)
+		}
+		pre[i] = p
+	}
+	// infos is keyed by leaf ref and fully rebuilt per instance; reusing one
+	// map (and one lookup closure) avoids re-allocating it per instance.
+	infos := make(map[*ir.Ref]operandInfo)
+	lookup := func(r *ir.Ref) operandInfo { return infos[r] }
+
 	var env map[string]int
 	for k := 0; k < instances; k++ {
 		if k%window == 0 {
@@ -220,9 +262,9 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 
 		// Locate every input leaf; attach in-window L1 copies as candidate
 		// reuse nodes if the shadow L1 still holds them.
-		set := ir.NestedSets(stmt.RHS)
-		infos := make(map[*ir.Ref]operandInfo)
-		for _, ref := range set.Leaves(nil) {
+		ps := &pre[stmtIdx]
+		clear(infos)
+		for _, ref := range ps.leaves {
 			li, ok := loc.LocateRef(prog, ref, env, store)
 			if !ok {
 				li = LineLoc{Line: storeLoc.Line, Home: storeLoc.Home, MC: storeLoc.MC,
@@ -239,15 +281,10 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 			infos[ref] = info
 		}
 
-		plan := buildPlan(passOpts.Mesh, set, func(r *ir.Ref) operandInfo { return infos[r] }, storeLoc)
+		plan := buildPlan(dt, ps.set, lookup, storeLoc)
 		an := plan.Analyze()
 
-		opWeight := 1.0
-		if c := stmt.OpCount(1); c > 0 {
-			opWeight = float64(stmt.OpCount(passOpts.DivWeight)) / float64(c)
-		}
-		mix := stmt.OpMix()
-		root, extra := sched.emitTasks(passOpts.Mesh, plan, an, stmtIdx, iter, k/window, opWeight, mix, stmt.OpCount(1), lt)
+		root, extra := sched.emitTasks(dt, plan, an, stmtIdx, iter, k/window, ps.opWeight, ps.mix, ps.ops, lt)
 
 		// Inter-statement flow dependences: the root (and any task fetching
 		// a previously written line) must follow the writer. When the fetch
@@ -261,7 +298,7 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 			for fi := range t.Fetches {
 				f := &t.Fetches[fi]
 				if w, ok := lastWriter[f.Line]; ok {
-					t.addWait(w, passOpts.Mesh.Distance(sched.Tasks[w].Node, t.Node))
+					t.addWait(w, dt.Between(sched.Tasks[w].Node, t.Node))
 					sched.SyncsBefore++
 					if sched.Tasks[w].Node == f.From {
 						f.L1Hit = true
@@ -278,7 +315,7 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		if readers := lastReaders[storeLoc.Line]; len(readers) > 0 {
 			for n := mesh.NodeID(0); int(n) < passOpts.Mesh.Nodes(); n++ {
 				if r, ok := readers[n]; ok && n != root.Node {
-					root.addWait(r, passOpts.Mesh.Distance(n, root.Node))
+					root.addWait(r, dt.Between(n, root.Node))
 					sched.SyncsBefore++
 				}
 			}

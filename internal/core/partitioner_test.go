@@ -99,6 +99,41 @@ func TestPartitionDeterministic(t *testing.T) {
 	}
 }
 
+// TestPartitionDeterministicAcrossJobs asserts the parallel window sweep is
+// invisible: the result at -j 8 is identical to the serial sweep, task by
+// task, because each pass is independent and passes merge in window order.
+func TestPartitionDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) *Result {
+		prog, nest, store := smallNest(t, 32)
+		opts := testOpts()
+		opts.Jobs = jobs
+		res, err := Partition(prog, nest, store, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.WindowSize != b.WindowSize || a.Stats != b.Stats {
+		t.Errorf("jobs changed the result: window %d/%d, stats %+v vs %+v",
+			a.WindowSize, b.WindowSize, a.Stats, b.Stats)
+	}
+	for w, mv := range a.MovementBySize {
+		if b.MovementBySize[w] != mv {
+			t.Errorf("window %d movement differs: %d vs %d", w, mv, b.MovementBySize[w])
+		}
+	}
+	if len(a.Schedule.Tasks) != len(b.Schedule.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(a.Schedule.Tasks), len(b.Schedule.Tasks))
+	}
+	for i := range a.Schedule.Tasks {
+		ta, tb := a.Schedule.Tasks[i], b.Schedule.Tasks[i]
+		if ta.Node != tb.Node || ta.Ops != tb.Ops || len(ta.WaitFor) != len(tb.WaitFor) {
+			t.Fatalf("task %d differs: %+v vs %+v", i, ta, tb)
+		}
+	}
+}
+
 func TestPartitionTaskDAGIsTopological(t *testing.T) {
 	prog, nest, store := smallNest(t, 48)
 	res, err := Partition(prog, nest, store, testOpts())

@@ -154,7 +154,7 @@ func (lt *loadTracker) Imbalance() float64 {
 // instead, and its lines are fetched individually across the connecting edge
 // (costing (inputs-1) * edge weight extra movement, since the partial no
 // longer collapses to one transfer).
-func (s *Schedule) emitTasks(m *mesh.Mesh, plan *StatementPlan, an *PlanAnalysis,
+func (s *Schedule) emitTasks(dt *mesh.DistanceTable, plan *StatementPlan, an *PlanAnalysis,
 	stmtIdx, iter, window int, opWeight float64, mix map[ir.OpClass]int, totalOps int,
 	lt *loadTracker) (*Task, int) {
 
@@ -206,7 +206,7 @@ func (s *Schedule) emitTasks(m *mesh.Mesh, plan *StatementPlan, an *PlanAnalysis
 		t.Fetches = append(t.Fetches, vertexFetches(plan, v, node)...)
 		for _, c := range an.Children[v] {
 			if ct := taskOf[c]; ct != nil {
-				t.addWait(ct.ID, m.Distance(ct.Node, node))
+				t.addWait(ct.ID, dt.Between(ct.Node, node))
 				s.SyncsBefore++
 				continue
 			}

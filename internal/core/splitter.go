@@ -78,7 +78,7 @@ type planItem struct {
 }
 
 type planBuilder struct {
-	m        *mesh.Mesh
+	dt       *mesh.DistanceTable
 	vertices []PlanVertex
 	edges    []PlanEdge
 	reuse    int
@@ -88,8 +88,8 @@ type planBuilder struct {
 // level-based Kruskal over the nested variable sets, innermost first, with
 // completed sets treated as single components, and the store location joined
 // at the outermost level.
-func buildPlan(m *mesh.Mesh, set *ir.SetNode, ops func(*ir.Ref) operandInfo, store LineLoc) *StatementPlan {
-	b := &planBuilder{m: m}
+func buildPlan(dt *mesh.DistanceTable, set *ir.SetNode, ops func(*ir.Ref) operandInfo, store LineLoc) *StatementPlan {
+	b := &planBuilder{dt: dt}
 
 	// The store node participates in the outermost MST as a regular vertex
 	// (Figure 4 includes the A(i) vertex), so collect the top-level items and
@@ -292,7 +292,7 @@ func (b *planBuilder) closestPair(a, c *planItem) (mesh.NodeID, mesh.NodeID, int
 	best := 1 << 30
 	for _, n1 := range b.itemNodes(a) {
 		for _, n2 := range b.itemNodes(c) {
-			d := b.m.Distance(n1, n2)
+			d := b.dt.Between(n1, n2)
 			if d < best || (d == best && (n1 < bn1 || (n1 == bn1 && n2 < bn2))) {
 				best, bn1, bn2 = d, n1, n2
 			}

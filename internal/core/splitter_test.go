@@ -37,7 +37,7 @@ func TestBuildPlanSingleStatement(t *testing.T) {
 	set := ir.NestedSets(stmt.RHS)
 	store := ops(stmt.LHS).loc
 
-	plan := buildPlan(m, set, ops, store)
+	plan := buildPlan(m.DistanceTable(), set, ops, store)
 	if plan.Movement != 7 {
 		t.Errorf("Movement = %d, want 7", plan.Movement)
 	}
@@ -89,7 +89,7 @@ func TestBuildPlanNeverWorseThanDefault(t *testing.T) {
 	if defaultMove != 11 {
 		t.Fatalf("default movement = %d, want 11", defaultMove)
 	}
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 	if plan.Movement > defaultMove {
 		t.Errorf("optimized %d > default %d", plan.Movement, defaultMove)
 	}
@@ -105,7 +105,7 @@ func TestBuildPlanLevelBased(t *testing.T) {
 	}
 	ops := fixedOps(m, pos)
 	stmt := ir.MustParseStatement("A(i) = B(i)*(C(i)+D(i)+E(i))")
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, ops(stmt.LHS).loc)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, ops(stmt.LHS).loc)
 	// Inner MST: C-D (1) + D-E (1) = 2. B attaches to C at distance 1.
 	// Store A attaches to B at distance 4. Total 7.
 	if plan.Movement != 7 {
@@ -142,7 +142,7 @@ func TestBuildPlanReuse(t *testing.T) {
 	}
 	stmt := ir.MustParseStatement("X(i) = Y(i)+C(i)")
 	store := LineLoc{Line: 0x300, Home: nX, MC: nX, PredictedHit: true, ActualHit: true}
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 
 	// Without reuse: Y at (1,2) -> C at (5,5) costs 7, plus X join. With the
 	// copy at n_D (2,2), C connects to Y at distance 1 and to X at 1 more.
@@ -171,7 +171,7 @@ func TestBuildPlanDedupSameLine(t *testing.T) {
 	pos := map[string]mesh.Coord{"A": {X: 0, Y: 0}, "B": {X: 3, Y: 3}}
 	ops := fixedOps(m, pos)
 	stmt := ir.MustParseStatement("A(i) = B(i)+B(i)")
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, ops(stmt.LHS).loc)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, ops(stmt.LHS).loc)
 	if plan.Movement != 6 {
 		t.Errorf("Movement = %d, want 6 (one B fetch)", plan.Movement)
 	}
@@ -198,7 +198,7 @@ func TestBuildPlanPredictedMissUsesMC(t *testing.T) {
 	}
 	stmt := ir.MustParseStatement("A(i) = B(i)")
 	store := LineLoc{Line: 0x80, Home: storeN, MC: mc, PredictedHit: true, ActualHit: true}
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 	if plan.Movement != 1 {
 		t.Errorf("Movement = %d, want 1 (MC at (0,0) to store at (1,0))", plan.Movement)
 	}
@@ -225,7 +225,7 @@ func TestBuildPlanZeroMovement(t *testing.T) {
 		return operandInfo{loc: LineLoc{Line: 0x40, Home: n, MC: n, PredictedHit: true, ActualHit: true}}
 	}
 	stmt := ir.MustParseStatement("A(i) = B(i)")
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, LineLoc{Line: 0x80, Home: n, MC: n, PredictedHit: true, ActualHit: true})
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, LineLoc{Line: 0x80, Home: n, MC: n, PredictedHit: true, ActualHit: true})
 	if plan.Movement != 0 {
 		t.Errorf("Movement = %d, want 0", plan.Movement)
 	}
@@ -251,7 +251,7 @@ func TestBuildPlanFigure3Geometry(t *testing.T) {
 	if defaultMove != 13 {
 		t.Fatalf("default = %d, want 13", defaultMove)
 	}
-	plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+	plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 	if plan.Movement != 8 {
 		t.Errorf("optimized = %d, want 8", plan.Movement)
 	}
@@ -286,8 +286,8 @@ func TestFigure11MultiStatement(t *testing.T) {
 	}
 
 	// Single-statement optimization: independent MSTs.
-	p1 := buildPlan(m, ir.NestedSets(s1.RHS), ops, ops(s1.LHS).loc)
-	p2solo := buildPlan(m, ir.NestedSets(s2.RHS), ops, ops(s2.LHS).loc)
+	p1 := buildPlan(m.DistanceTable(), ir.NestedSets(s1.RHS), ops, ops(s1.LHS).loc)
+	p2solo := buildPlan(m.DistanceTable(), ir.NestedSets(s2.RHS), ops, ops(s2.LHS).loc)
 	soloTotal := p1.Movement + p2solo.Movement
 
 	// Verify S1 indeed gathers C at n_D (the premise of the reuse).
@@ -310,7 +310,7 @@ func TestFigure11MultiStatement(t *testing.T) {
 		}
 		return info
 	}
-	p2reuse := buildPlan(m, ir.NestedSets(s2.RHS), reuseOps, ops(s2.LHS).loc)
+	p2reuse := buildPlan(m.DistanceTable(), ir.NestedSets(s2.RHS), reuseOps, ops(s2.LHS).loc)
 	reuseTotal := p1.Movement + p2reuse.Movement
 
 	if !(defTotal > soloTotal && soloTotal > reuseTotal) {
@@ -361,7 +361,7 @@ func TestBuildPlanNeverWorseProperty(t *testing.T) {
 			seen[info.loc.Line] = true
 			def += m.Distance(store.Home, info.loc.Node())
 		}
-		plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+		plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 		if plan.Movement > def {
 			t.Fatalf("trial %d (%s): plan movement %d > default %d (pos %v)",
 				trial, stmt, plan.Movement, def, pos)
@@ -398,7 +398,7 @@ func TestBuildPlanGroupedSlackBound(t *testing.T) {
 		for _, in := range stmt.Inputs() {
 			def += m.Distance(store.Home, ops(in).loc.Node())
 		}
-		plan := buildPlan(m, ir.NestedSets(stmt.RHS), ops, store)
+		plan := buildPlan(m.DistanceTable(), ir.NestedSets(stmt.RHS), ops, store)
 		if float64(plan.Movement) > 1.5*float64(def)+1 {
 			t.Fatalf("trial %d (%s): plan movement %d way above star %d", trial, stmt, plan.Movement, def)
 		}

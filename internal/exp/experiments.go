@@ -7,6 +7,7 @@ import (
 	"dmacp/internal/core"
 	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
+	"dmacp/internal/par"
 	"dmacp/internal/sim"
 	"dmacp/internal/stats"
 	"dmacp/internal/workloads"
@@ -39,7 +40,11 @@ func (r *Runner) Table1() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var vals []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -71,7 +76,11 @@ func (r *Runner) Table2() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var vals []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -102,7 +111,11 @@ func (r *Runner) Table3() (*Experiment, error) {
 		Table:      &stats.Table{Header: []string{"App", "add/sub", "mul/div", "others"}},
 		Headline:   map[string]float64{},
 	}
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -137,7 +150,11 @@ func (r *Runner) Fig13() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var avgRed []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -169,7 +186,11 @@ func (r *Runner) Fig14() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var avgs []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -205,7 +226,11 @@ func (r *Runner) Fig15() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var after []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -235,7 +260,11 @@ func (r *Runner) Fig16() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var imps []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -263,7 +292,11 @@ func (r *Runner) Fig17() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var defC, optC, inetC, ianalC []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -294,11 +327,22 @@ func (r *Runner) Fig18() (*Experiment, error) {
 		Table:      &stats.Table{Header: []string{"App", "S1-L1", "S2-Movement", "S3-Parallel", "S4-Syncs", "Full"}},
 		Headline:   map[string]float64{},
 	}
-	var s2s, fulls []float64
-	for _, name := range appNames() {
-		ar, err := r.Base(name)
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	// The four isolation re-simulations per app are independent of every
+	// other app: fan out per app, slot results by index, fold in app order.
+	type fig18Row struct {
+		s1, s2, s3, s4, full float64
+	}
+	rows := make([]fig18Row, len(names))
+	errs := make([]error, len(names))
+	par.ForEach(r.Jobs, len(names), func(i int) {
+		ar, err := r.Base(names[i])
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		cfg := r.simConfig()
 		norm := func(c sim.Config) (float64, error) {
@@ -318,7 +362,8 @@ func (r *Runner) Fig18() (*Experiment, error) {
 		c1.ForcedL1HitRate = &rate
 		s1, err := norm(c1)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// S2: enforce the optimized data movement (hop ratio).
 		c2 := cfg
@@ -327,21 +372,23 @@ func (r *Runner) Fig18() (*Experiment, error) {
 		}
 		s2, err := norm(c2)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// S3: enforce the optimized degree of parallelism.
 		c3 := cfg
-		var par, w float64
+		var parSum, w float64
 		for _, n := range ar.Nests {
-			par += n.Opt.Stats.AvgParallelism * float64(n.Opt.Stats.Instances)
+			parSum += n.Opt.Stats.AvgParallelism * float64(n.Opt.Stats.Instances)
 			w += float64(n.Opt.Stats.Instances)
 		}
-		if w > 0 && par > 0 {
-			c3.ComputeScale = par / w
+		if w > 0 && parSum > 0 {
+			c3.ComputeScale = parSum / w
 		}
 		s3, err := norm(c3)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// S4: charge the optimized synchronization overhead.
 		c4 := cfg
@@ -354,12 +401,20 @@ func (r *Runner) Fig18() (*Experiment, error) {
 		}
 		s4, err := norm(c4)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		full := ar.SimDef.Cycles / ar.SimOpt.Cycles
-		e.Table.Add(name, s1, s2, s3, s4, full)
-		s2s = append(s2s, s2)
-		fulls = append(fulls, full)
+		rows[i] = fig18Row{s1: s1, s2: s2, s3: s3, s4: s4, full: ar.SimDef.Cycles / ar.SimOpt.Cycles}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var s2s, fulls []float64
+	for i, name := range names {
+		row := rows[i]
+		e.Table.Add(name, row.s1, row.s2, row.s3, row.s4, row.full)
+		s2s = append(s2s, row.s2)
+		fulls = append(fulls, row.full)
 	}
 	e.Headline["movement_only_speedup"] = stats.Geomean(s2s)
 	e.Headline["full_speedup"] = stats.Geomean(fulls)
@@ -377,7 +432,11 @@ func (r *Runner) Fig19() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var avgs []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -401,31 +460,55 @@ func (r *Runner) Fig20() (*Experiment, error) {
 		Table:      &stats.Table{Header: []string{"App", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "adaptive"}},
 		Headline:   map[string]float64{},
 	}
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	// Every (app, fixed-window) cell is an independent partition+simulation;
+	// fan the flattened grid out and reassemble rows in order. The flattened
+	// index is app-major, so the lowest-index error matches the serial loop's.
+	const nw = 8
+	cells := make([]float64, len(names)*nw)
+	errs := make([]error, len(names)*nw)
+	par.ForEach(r.Jobs, len(cells), func(idx int) {
+		ai, w := idx/nw, idx%nw+1
+		ar, err := r.Base(names[ai])
+		if err != nil {
+			errs[idx] = err
+			return
+		}
+		cfg := r.simConfig()
+		opts := r.Opts
+		opts.FixedWindow = w
+		var cycles float64
+		for _, n := range ar.Nests {
+			opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			sr, err := sim.Run(opt.Schedule, cfg)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			cycles += sr.Cycles
+		}
+		cells[idx] = stats.Reduction(ar.SimDef.Cycles, cycles)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
 	var adaptives []float64
-	for _, name := range appNames() {
+	for ai, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.simConfig()
-		row := make([]any, 0, 10)
+		row := make([]any, 0, nw+2)
 		row = append(row, name)
-		for w := 1; w <= 8; w++ {
-			opts := r.Opts
-			opts.FixedWindow = w
-			var cycles float64
-			for _, n := range ar.Nests {
-				opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
-				if err != nil {
-					return nil, err
-				}
-				sr, err := sim.Run(opt.Schedule, cfg)
-				if err != nil {
-					return nil, err
-				}
-				cycles += sr.Cycles
-			}
-			row = append(row, stats.Pct(stats.Reduction(ar.SimDef.Cycles, cycles)))
+		for w := 0; w < nw; w++ {
+			row = append(row, stats.Pct(cells[ai*nw+w]))
 		}
 		adaptive := stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)
 		row = append(row, stats.Pct(adaptive))
@@ -446,7 +529,11 @@ func (r *Runner) Fig21() (*Experiment, error) {
 		Table:      &stats.Table{Header: []string{"App", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"}},
 		Headline:   map[string]float64{},
 	}
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
@@ -487,32 +574,60 @@ func (r *Runner) Fig22() (*Experiment, error) {
 		mode  sim.MemMode
 	}{{"X", sim.Flat}, {"Y", sim.CacheMode}, {"Z", sim.Hybrid}}
 
-	// Baseline cycles per app: (B, X, 1).
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	// Baseline cycles per app: (B, X, 1). Read-only once built, so the
+	// workers below can share the map without locking.
 	baseCycles := map[string]float64{}
-	for _, name := range appNames() {
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err
 		}
 		baseCycles[name] = ar.SimDef.Cycles
 	}
+	// Flatten the 18-configuration x app grid and fan it out; the flattened
+	// index is configuration-major in the serial emission order, so folding
+	// by index reproduces the serial table row for row.
+	type fig22Spec struct {
+		label     string
+		cluster   mesh.ClusterMode
+		mm        sim.MemMode
+		optimized bool
+	}
+	var specs []fig22Spec
 	for _, cm := range clusterModes {
 		for _, mm := range memModes {
 			for _, optimized := range []bool{false, true} {
-				var speedups []float64
-				for _, name := range appNames() {
-					cycles, err := r.configCycles(name, cm.mode, mm.mode, optimized)
-					if err != nil {
-						return nil, err
-					}
-					speedups = append(speedups, baseCycles[name]/cycles)
-				}
-				v := stats.Geomean(speedups)
-				label := fmt.Sprintf("(%s,%s,%d)", cm.label, mm.label, boolTo12(optimized))
-				e.Table.Add(label, v)
-				e.Headline[label] = v
+				specs = append(specs, fig22Spec{
+					label:     fmt.Sprintf("(%s,%s,%d)", cm.label, mm.label, boolTo12(optimized)),
+					cluster:   cm.mode,
+					mm:        mm.mode,
+					optimized: optimized,
+				})
 			}
 		}
+	}
+	cells := make([]float64, len(specs)*len(names))
+	errs := make([]error, len(specs)*len(names))
+	par.ForEach(r.Jobs, len(cells), func(idx int) {
+		si, ai := idx/len(names), idx%len(names)
+		cycles, err := r.configCycles(names[ai], specs[si].cluster, specs[si].mm, specs[si].optimized)
+		if err != nil {
+			errs[idx] = err
+			return
+		}
+		cells[idx] = baseCycles[names[ai]] / cycles
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		v := stats.Geomean(cells[si*len(names) : (si+1)*len(names)])
+		e.Table.Add(spec.label, v)
+		e.Headline[spec.label] = v
 	}
 	return e, nil
 }
@@ -570,48 +685,75 @@ func (r *Runner) Fig23() (*Experiment, error) {
 		Table:      &stats.Table{Header: []string{"App", "Ours", "DataMapping", "Combined"}},
 		Headline:   map[string]float64{},
 	}
-	var base, ours, datas, combs []float64
-	for _, name := range appNames() {
-		ar, err := r.Base(name)
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	// Per app: rebuild the MC-mapped placement and the combined partition,
+	// both independent across apps. Fan out, then fold rows in app order.
+	type fig23Row struct {
+		dataCycles, combCycles float64
+	}
+	rows := make([]fig23Row, len(names))
+	errs := make([]error, len(names))
+	par.ForEach(r.Jobs, len(names), func(i int) {
+		ar, err := r.Base(names[i])
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		cfg := r.simConfig()
 		var dataCycles, combCycles float64
 		for _, n := range ar.Nests {
 			mcmap, err := baseline.BuildMCMap(ar.App.Prog, n.Nest, ar.App.Store, r.Opts, n.Def)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			opts := r.Opts
 			opts.MCOverride = mcmap
 			def, err := baseline.Place(ar.App.Prog, n.Nest, ar.App.Store, opts, baseline.ProfiledLocality)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			sr, err := sim.Run(def.Schedule, cfg)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			dataCycles += sr.Cycles
 			opt, err := core.Partition(ar.App.Prog, n.Nest, ar.App.Store, opts)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			sr2, err := sim.Run(opt.Schedule, cfg)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			combCycles += sr2.Cycles
 		}
+		rows[i] = fig23Row{dataCycles: dataCycles, combCycles: combCycles}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var base, ours, datas, combs []float64
+	for i, name := range names {
+		ar, err := r.Base(name)
+		if err != nil {
+			return nil, err
+		}
 		e.Table.Add(name,
 			stats.Pct(stats.Reduction(ar.SimDef.Cycles, ar.SimOpt.Cycles)),
-			stats.Pct(stats.Reduction(ar.SimDef.Cycles, dataCycles)),
-			stats.Pct(stats.Reduction(ar.SimDef.Cycles, combCycles)))
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, rows[i].dataCycles)),
+			stats.Pct(stats.Reduction(ar.SimDef.Cycles, rows[i].combCycles)))
 		base = append(base, ar.SimDef.Cycles)
 		ours = append(ours, ar.SimOpt.Cycles)
-		datas = append(datas, dataCycles)
-		combs = append(combs, combCycles)
+		datas = append(datas, rows[i].dataCycles)
+		combs = append(combs, rows[i].combCycles)
 	}
 	e.Headline["ours"] = stats.GeomeanReduction(base, ours)
 	e.Headline["data_mapping"] = stats.GeomeanReduction(base, datas)
@@ -630,7 +772,11 @@ func (r *Runner) Fig24() (*Experiment, error) {
 		Headline:   map[string]float64{},
 	}
 	var ours []float64
-	for _, name := range appNames() {
+	names, err := r.warmed()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
 		ar, err := r.Base(name)
 		if err != nil {
 			return nil, err

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"dmacp/internal/core"
+	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
+	"dmacp/internal/par"
 	"dmacp/internal/sim"
 	"dmacp/internal/stats"
 	"dmacp/internal/verify"
@@ -39,6 +41,11 @@ type FaultSweepConfig struct {
 	// Levels lists the fault levels, mildest first (default: none, 1..3 dead
 	// links, then 3 dead links + 1 dead non-MC tile — the acceptance ladder).
 	Levels []FaultLevel
+	// Jobs bounds the worker pool the independent (nest, mode, window) series
+	// run on. <= 0 means one worker per CPU; 1 forces the serial sweep. The
+	// aggregate result is identical at every setting: series are enumerated
+	// and seeded up front and their partial sums are merged in series order.
+	Jobs int
 }
 
 func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
@@ -111,7 +118,20 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 	csums := make([]float64, len(cfg.Levels))
 	counts := make([]int, len(cfg.Levels))
 
-	series := 0
+	// Enumerate every (nest, mode, window) series up front, in the exact
+	// order the nested serial loops visited them, deriving each sub-seed from
+	// the series index. Series are then independent: each builds its own
+	// options (and mesh), so they fan out on the worker pool, and their
+	// partial sums merge below in series order — float accumulation order,
+	// and therefore every reported digit, matches the serial sweep.
+	type sweepSeries struct {
+		app  *workloads.App
+		nest *ir.Nest
+		mode mesh.ClusterMode
+		w    int
+		seed int64
+	}
+	var sweep []sweepSeries
 	for _, name := range cfg.Apps {
 		app, err := workloads.Build(name, cfg.Scale)
 		if err != nil {
@@ -120,71 +140,112 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		for _, nest := range app.Nests {
 			for _, mode := range cfg.Modes {
 				for _, w := range cfg.Windows {
-					opts := core.DefaultOptions()
-					opts.Mode = mode
-					opts.FixedWindow = w
-					part, err := core.Partition(app.Prog, nest, app.Store, opts)
-					if err != nil {
-						return nil, fmt.Errorf("exp: faultsweep %s mode=%v w=%d: %w", nest.Name, mode, w, err)
-					}
-					baseSim, err := sim.Run(part.Schedule, simConfigFor(opts))
-					if err != nil {
-						return nil, fmt.Errorf("exp: faultsweep %s base sim: %w", nest.Name, err)
-					}
-					seriesSeed := cfg.Seed + int64(series)*1000003
-					series++
-
-					for li, lvl := range cfg.Levels {
-						variant := fmt.Sprintf("%s mode=%v w=%d level=%s", nest.Name, mode, w, lvl)
-						// One seed per series: level k+1's links are a
-						// superset of level k's (nested ladder).
-						fs := mesh.Inject(opts.Mesh, seriesSeed, lvl.Links, lvl.Routers, lvl.Tiles, true)
-
-						checker := func(s *core.Schedule) error {
-							rep, err := verify.Check(verify.Input{
-								Prog: app.Prog, Nest: nest, Store: app.Store,
-								Schedule: s, Mesh: opts.Mesh, Faults: fs,
-								Layout: opts.Layout, Translations: part.Translations,
-								Labels: part.LineLabels,
-							}, verify.Options{})
-							if err != nil {
-								return err
-							}
-							return rep.Err()
-						}
-						repaired, rep, err := core.RepairVerified(part.Schedule, opts.Mesh, fs, core.RepairOptions{
-							LoadThreshold: opts.LoadThreshold,
-						}, checker)
-						if err != nil {
-							res.Violations = append(res.Violations,
-								fmt.Sprintf("%s: %v", variant, err))
-							continue
-						}
-						res.Repaired++
-						res.Migrated += rep.Migrated
-						res.AddedArcs += rep.AddedArcs
-						if rep.Full {
-							res.FullRepairs++
-						}
-						if rep.MovementBefore > 0 {
-							sums[li] += float64(rep.MovementAfter) / float64(rep.MovementBefore)
-							counts[li]++
-						}
-						simCfg := simConfigFor(opts)
-						simCfg.Faults = fs
-						sr, err := sim.Run(repaired, simCfg)
-						if err != nil {
-							res.Violations = append(res.Violations,
-								fmt.Sprintf("%s: degraded simulation rejected the repaired schedule: %v", variant, err))
-							continue
-						}
-						if baseSim.Cycles > 0 {
-							csums[li] += sr.Cycles / baseSim.Cycles
-						}
-					}
+					sweep = append(sweep, sweepSeries{
+						app: app, nest: nest, mode: mode, w: w,
+						seed: cfg.Seed + int64(len(sweep))*1000003,
+					})
 				}
 			}
 		}
+	}
+
+	type seriesResult struct {
+		err         error
+		sums, csums []float64
+		counts      []int
+		repaired    int
+		migrated    int
+		addedArcs   int
+		fullRepairs int
+		violations  []string
+	}
+	results := make([]seriesResult, len(sweep))
+	par.ForEach(cfg.Jobs, len(sweep), func(si int) {
+		s := sweep[si]
+		out := &results[si]
+		out.sums = make([]float64, len(cfg.Levels))
+		out.csums = make([]float64, len(cfg.Levels))
+		out.counts = make([]int, len(cfg.Levels))
+
+		opts := core.DefaultOptions()
+		opts.Mode = s.mode
+		opts.FixedWindow = s.w
+		part, err := core.Partition(s.app.Prog, s.nest, s.app.Store, opts)
+		if err != nil {
+			out.err = fmt.Errorf("exp: faultsweep %s mode=%v w=%d: %w", s.nest.Name, s.mode, s.w, err)
+			return
+		}
+		baseSim, err := sim.Run(part.Schedule, simConfigFor(opts))
+		if err != nil {
+			out.err = fmt.Errorf("exp: faultsweep %s base sim: %w", s.nest.Name, err)
+			return
+		}
+
+		for li, lvl := range cfg.Levels {
+			variant := fmt.Sprintf("%s mode=%v w=%d level=%s", s.nest.Name, s.mode, s.w, lvl)
+			// One seed per series: level k+1's links are a superset of
+			// level k's (nested ladder).
+			fs := mesh.Inject(opts.Mesh, s.seed, lvl.Links, lvl.Routers, lvl.Tiles, true)
+
+			checker := func(sched *core.Schedule) error {
+				rep, err := verify.Check(verify.Input{
+					Prog: s.app.Prog, Nest: s.nest, Store: s.app.Store,
+					Schedule: sched, Mesh: opts.Mesh, Faults: fs,
+					Layout: opts.Layout, Translations: part.Translations,
+					Labels: part.LineLabels,
+				}, verify.Options{})
+				if err != nil {
+					return err
+				}
+				return rep.Err()
+			}
+			repaired, rep, err := core.RepairVerified(part.Schedule, opts.Mesh, fs, core.RepairOptions{
+				LoadThreshold: opts.LoadThreshold,
+			}, checker)
+			if err != nil {
+				out.violations = append(out.violations,
+					fmt.Sprintf("%s: %v", variant, err))
+				continue
+			}
+			out.repaired++
+			out.migrated += rep.Migrated
+			out.addedArcs += rep.AddedArcs
+			if rep.Full {
+				out.fullRepairs++
+			}
+			if rep.MovementBefore > 0 {
+				out.sums[li] += float64(rep.MovementAfter) / float64(rep.MovementBefore)
+				out.counts[li]++
+			}
+			simCfg := simConfigFor(opts)
+			simCfg.Faults = fs
+			sr, err := sim.Run(repaired, simCfg)
+			if err != nil {
+				out.violations = append(out.violations,
+					fmt.Sprintf("%s: degraded simulation rejected the repaired schedule: %v", variant, err))
+				continue
+			}
+			if baseSim.Cycles > 0 {
+				out.csums[li] += sr.Cycles / baseSim.Cycles
+			}
+		}
+	})
+
+	for si := range results {
+		out := &results[si]
+		if out.err != nil {
+			return nil, out.err
+		}
+		for li := range cfg.Levels {
+			sums[li] += out.sums[li]
+			csums[li] += out.csums[li]
+			counts[li] += out.counts[li]
+		}
+		res.Repaired += out.repaired
+		res.Migrated += out.migrated
+		res.AddedArcs += out.addedArcs
+		res.FullRepairs += out.fullRepairs
+		res.Violations = append(res.Violations, out.violations...)
 	}
 
 	res.MovementRatio = make([]float64, len(cfg.Levels))
@@ -215,7 +276,7 @@ func simConfigFor(opts core.Options) sim.Config {
 
 // FaultSweep exposes the fault-injection harness as an experiment entry.
 func (r *Runner) FaultSweep() (*Experiment, error) {
-	cfg := FaultSweepConfig{Scale: r.Scale, Seed: 1, Modes: []mesh.ClusterMode{mesh.Quadrant}}
+	cfg := FaultSweepConfig{Scale: r.Scale, Seed: 1, Modes: []mesh.ClusterMode{mesh.Quadrant}, Jobs: r.Jobs}
 	res, err := FaultSweep(cfg)
 	if err != nil {
 		return nil, err

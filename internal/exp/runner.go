@@ -8,16 +8,24 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"dmacp/internal/baseline"
 	"dmacp/internal/core"
 	"dmacp/internal/ir"
+	"dmacp/internal/par"
 	"dmacp/internal/predictor"
 	"dmacp/internal/sim"
 	"dmacp/internal/workloads"
 )
 
 // Runner executes experiments at a fixed scale and platform configuration.
+//
+// Concurrency: Base is safe to call from multiple goroutines — each app's
+// artifacts are built exactly once (per-app singleflight) and are read-only
+// after Base returns. Experiments fan their per-app work out on up to Jobs
+// workers and fold indexed results in app order, so their tables are
+// byte-identical to a serial run at any Jobs setting.
 type Runner struct {
 	Scale workloads.Scale
 	// Opts is the platform description used for every run (quadrant mode,
@@ -26,8 +34,22 @@ type Runner struct {
 	Opts core.Options
 	// MemMode is the memory mode used by the simulator for base runs.
 	MemMode sim.MemMode
+	// Jobs bounds the experiment worker pool (and is forwarded to the
+	// partitioner's window sweep via Opts.Jobs by the CLIs). <= 0 means one
+	// worker per CPU; 1 forces serial execution.
+	Jobs int
 
-	base map[string]*AppRun
+	mu   sync.Mutex
+	base map[string]*baseEntry
+}
+
+// baseEntry singleflights one app's base build: the first caller runs the
+// build under the entry's Once, every later caller blocks on it and shares
+// the result.
+type baseEntry struct {
+	once sync.Once
+	ar   *AppRun
+	err  error
 }
 
 // NewRunner builds a runner with the evaluation defaults: quadrant cluster
@@ -40,7 +62,7 @@ func NewRunner(sc workloads.Scale) *Runner {
 		Ways:         opts.L2Ways,
 		SampleMod:    8,
 	})
-	return &Runner{Scale: sc, Opts: opts, MemMode: sim.Flat, base: map[string]*AppRun{}}
+	return &Runner{Scale: sc, Opts: opts, MemMode: sim.Flat, base: map[string]*baseEntry{}}
 }
 
 // NestRun holds the artifacts of one nest under one configuration.
@@ -66,7 +88,13 @@ type AppRun struct {
 }
 
 // SimAgg aggregates simulator results over an app's nests.
+//
+// Ownership: add and finish lock the aggregate, so concurrent adds from
+// worker goroutines are safe; the exported fields carry no lock, so they must
+// only be read after every add has completed (for the Runner's base
+// aggregates, after Base returns).
 type SimAgg struct {
+	mu         sync.Mutex
 	Cycles     float64
 	Energy     sim.Energy
 	AvgNetLat  float64
@@ -82,6 +110,8 @@ type SimAgg struct {
 }
 
 func (a *SimAgg) add(r *sim.Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.Cycles += r.Cycles
 	a.Energy.Network += r.Energy.Network
 	a.Energy.Cache += r.Energy.Cache
@@ -105,6 +135,8 @@ func (a *SimAgg) add(r *sim.Result) {
 
 // finish normalizes weighted averages.
 func (a *SimAgg) finish() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.latWeights > 0 {
 		a.AvgNetLat /= a.latWeights
 	}
@@ -127,11 +159,50 @@ func (r *Runner) simConfig() sim.Config {
 
 // Base returns (building and caching on first use) the base artifacts of one
 // application: default placement, optimized partition, and the four
-// simulations the shared experiments need.
+// simulations the shared experiments need. Safe for concurrent use; each
+// app's build runs exactly once and concurrent callers share it.
 func (r *Runner) Base(name string) (*AppRun, error) {
-	if ar, ok := r.base[name]; ok {
-		return ar, nil
+	r.mu.Lock()
+	if r.base == nil {
+		r.base = map[string]*baseEntry{}
 	}
+	e, ok := r.base[name]
+	if !ok {
+		e = &baseEntry{}
+		r.base[name] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.ar, e.err = r.buildBase(name) })
+	return e.ar, e.err
+}
+
+// Warm builds the base artifacts of the named apps (every app when none are
+// given) on the worker pool, so experiments that then iterate serially hit
+// the cache. The returned error is the one the serial build order would have
+// reported first.
+func (r *Runner) Warm(names ...string) error {
+	if len(names) == 0 {
+		names = appNames()
+	}
+	errs := make([]error, len(names))
+	par.ForEach(r.Jobs, len(names), func(i int) {
+		_, errs[i] = r.Base(names[i])
+	})
+	return par.FirstError(errs)
+}
+
+// warmed is the experiment preamble: parallel-build all base artifacts and
+// return the app list to iterate (in fixed suite order).
+func (r *Runner) warmed() ([]string, error) {
+	names := appNames()
+	if err := r.Warm(names...); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// buildBase constructs one app's artifacts; called once per app via Base.
+func (r *Runner) buildBase(name string) (*AppRun, error) {
 	app, err := workloads.Build(name, r.Scale)
 	if err != nil {
 		return nil, err
@@ -191,7 +262,6 @@ func (r *Runner) Base(name string) (*AppRun, error) {
 	ar.SimOpt.finish()
 	ar.SimDefIdealNet.finish()
 	ar.SimOptIdeal.finish()
-	r.base[name] = ar
 	return ar, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"dmacp/internal/core"
 	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
+	"dmacp/internal/par"
 	"dmacp/internal/stats"
 	"dmacp/internal/verify"
 )
@@ -29,6 +30,11 @@ type VerifyDiffConfig struct {
 	Modes []mesh.ClusterMode
 	// Strategies lists the baseline strategies to sweep (default all three).
 	Strategies []baseline.Strategy
+	// Jobs bounds the worker pool the programs are verified on. <= 0 means
+	// one worker per CPU; 1 forces serial execution. Programs are generated
+	// serially from one rng before the fan-out and per-program results merge
+	// in program order, so the result is identical at every setting.
+	Jobs int
 }
 
 func (c VerifyDiffConfig) withDefaults() VerifyDiffConfig {
@@ -77,7 +83,7 @@ type VerifyDiffResult struct {
 // entry: random programs x every scheduler variant, each emitted schedule
 // statically verified for dependence preservation.
 func (r *Runner) VerifyDiff() (*Experiment, error) {
-	cfg := VerifyDiffConfig{Seed: 11, Iters: r.Scale.Iters, Elems: r.Scale.Elems}
+	cfg := VerifyDiffConfig{Seed: 11, Iters: r.Scale.Iters, Elems: r.Scale.Elems, Jobs: r.Jobs}
 	res, err := VerifyDifferential(cfg)
 	if err != nil {
 		return nil, err
@@ -86,7 +92,7 @@ func (r *Runner) VerifyDiff() (*Experiment, error) {
 		ID:         "verifydiff",
 		Title:      "Differential schedule verification: random programs x all scheduler variants",
 		PaperClaim: "the emitted task DAG orders every RAW/WAR/WAW dependence (Section 4.4 correctness argument)",
-		Table: &stats.Table{Header: []string{"Metric", "Value"}},
+		Table:      &stats.Table{Header: []string{"Metric", "Value"}},
 		Headline: map[string]float64{
 			"violations":  float64(len(res.Violations)),
 			"stale_reuse": float64(res.KindCounts[verify.KindStaleReuse]),
@@ -163,77 +169,124 @@ func randProgram(rng *rand.Rand) string {
 // surfaces here as a concrete counterexample.
 func VerifyDifferential(cfg VerifyDiffConfig) (*VerifyDiffResult, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &VerifyDiffResult{KindCounts: make(map[verify.Kind]int)}
 
-	for p := 0; p < cfg.Programs; p++ {
-		src := randProgram(rng)
-		body, err := ir.ParseStatements(src)
+	// Program generation consumes one shared rng stream, so it must stay
+	// serial (and ahead of the fan-out) to keep the generated programs
+	// independent of the worker count.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	srcs := make([]string, cfg.Programs)
+	for p := range srcs {
+		srcs[p] = randProgram(rng)
+	}
+
+	// Each program's variant sweep is independent; partial tallies merge in
+	// program order below so the aggregate (and the violation list order)
+	// matches the serial harness.
+	partials := make([]vdPartial, cfg.Programs)
+	par.ForEach(cfg.Jobs, cfg.Programs, func(p int) {
+		partials[p] = verifyOneProgram(cfg, p, srcs[p])
+	})
+	for p := range partials {
+		out := &partials[p]
+		if out.err != nil {
+			return nil, out.err
+		}
+		res.Runs += out.runs
+		res.DepsChecked += out.deps
+		res.Warnings += out.warnings
+		for k, c := range out.kinds {
+			res.KindCounts[k] += c
+		}
+		res.Violations = append(res.Violations, out.violations...)
+	}
+	return res, nil
+}
+
+// vdPartial is one program's tally of the differential sweep; partials merge
+// into the VerifyDiffResult in program order.
+type vdPartial struct {
+	err        error
+	runs       int
+	deps       int
+	warnings   int
+	kinds      map[verify.Kind]int
+	violations []string
+}
+
+// verifyOneProgram runs the full variant sweep of one generated program.
+func verifyOneProgram(cfg VerifyDiffConfig, p int, src string) (out vdPartial) {
+	out.kinds = make(map[verify.Kind]int)
+	body, err := ir.ParseStatements(src)
+	if err != nil {
+		out.err = fmt.Errorf("exp: generated program %d unparseable: %w\n%s", p, err, src)
+		return out
+	}
+	nest := &ir.Nest{
+		Name:  fmt.Sprintf("rand%d", p),
+		Loops: []ir.Loop{{Var: "i", Lower: 0, Upper: cfg.Iters, Step: 1}},
+		Body:  body,
+	}
+	prog := ir.NewProgram()
+	prog.DeclareFromNest(nest, cfg.Elems, 8)
+	prog.Nests = append(prog.Nests, nest)
+	store := ir.NewStore(prog)
+	store.FillRandom(prog, cfg.Seed+int64(p)+1)
+
+	record := func(variant string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string, opts core.Options) error {
+		rep, err := verify.Check(verify.Input{
+			Prog: prog, Nest: nest, Store: store,
+			Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
+			Translations: translations, Labels: labels,
+		}, verify.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("exp: generated program %d unparseable: %w\n%s", p, err, src)
+			return fmt.Errorf("exp: program %d %s: %w", p, variant, err)
 		}
-		nest := &ir.Nest{
-			Name:  fmt.Sprintf("rand%d", p),
-			Loops: []ir.Loop{{Var: "i", Lower: 0, Upper: cfg.Iters, Step: 1}},
-			Body:  body,
+		out.runs++
+		out.deps += rep.DepsChecked
+		out.warnings += rep.WarningCount
+		for k, c := range rep.Counts {
+			out.kinds[k] += c
 		}
-		prog := ir.NewProgram()
-		prog.DeclareFromNest(nest, cfg.Elems, 8)
-		prog.Nests = append(prog.Nests, nest)
-		store := ir.NewStore(prog)
-		store.FillRandom(prog, cfg.Seed+int64(p)+1)
+		for _, d := range rep.Violations {
+			out.violations = append(out.violations,
+				fmt.Sprintf("program %d %s: %s\n%s", p, variant, d, src))
+		}
+		return nil
+	}
 
-		record := func(variant string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string, opts core.Options) error {
-			rep, err := verify.Check(verify.Input{
-				Prog: prog, Nest: nest, Store: store,
-				Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
-				Translations: translations, Labels: labels,
-			}, verify.Options{})
+	for _, mode := range cfg.Modes {
+		for _, w := range cfg.Windows {
+			opts := core.DefaultOptions()
+			opts.Mode = mode
+			if w > 0 {
+				opts.FixedWindow = w
+			}
+			r, err := core.Partition(prog, nest, store, opts)
 			if err != nil {
-				return fmt.Errorf("exp: program %d %s: %w", p, variant, err)
+				out.err = fmt.Errorf("exp: program %d partition mode=%v window=%d: %w\n%s", p, mode, w, err, src)
+				return out
 			}
-			res.Runs++
-			res.DepsChecked += rep.DepsChecked
-			res.Warnings += rep.WarningCount
-			for k, c := range rep.Counts {
-				res.KindCounts[k] += c
+			if err := record(fmt.Sprintf("partitioner mode=%v window=%d", mode, w),
+				r.Schedule, r.Translations, r.LineLabels, opts); err != nil {
+				out.err = err
+				return out
 			}
-			for _, d := range rep.Violations {
-				res.Violations = append(res.Violations,
-					fmt.Sprintf("program %d %s: %s\n%s", p, variant, d, src))
-			}
-			return nil
 		}
-
-		for _, mode := range cfg.Modes {
-			for _, w := range cfg.Windows {
-				opts := core.DefaultOptions()
-				opts.Mode = mode
-				if w > 0 {
-					opts.FixedWindow = w
-				}
-				r, err := core.Partition(prog, nest, store, opts)
-				if err != nil {
-					return nil, fmt.Errorf("exp: program %d partition mode=%v window=%d: %w\n%s", p, mode, w, err, src)
-				}
-				if err := record(fmt.Sprintf("partitioner mode=%v window=%d", mode, w),
-					r.Schedule, r.Translations, r.LineLabels, opts); err != nil {
-					return nil, err
-				}
+		for _, strat := range cfg.Strategies {
+			opts := core.DefaultOptions()
+			opts.Mode = mode
+			b, err := baseline.Place(prog, nest, store, opts, strat)
+			if err != nil {
+				out.err = fmt.Errorf("exp: program %d baseline %v mode=%v: %w\n%s", p, strat, mode, err, src)
+				return out
 			}
-			for _, strat := range cfg.Strategies {
-				opts := core.DefaultOptions()
-				opts.Mode = mode
-				b, err := baseline.Place(prog, nest, store, opts, strat)
-				if err != nil {
-					return nil, fmt.Errorf("exp: program %d baseline %v mode=%v: %w\n%s", p, strat, mode, err, src)
-				}
-				if err := record(fmt.Sprintf("baseline %v mode=%v", strat, mode),
-					b.Schedule, b.Translations, nil, opts); err != nil {
-					return nil, err
-				}
+			if err := record(fmt.Sprintf("baseline %v mode=%v", strat, mode),
+				b.Schedule, b.Translations, nil, opts); err != nil {
+				out.err = err
+				return out
 			}
 		}
 	}
-	return res, nil
+	return out
 }

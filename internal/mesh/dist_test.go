@@ -1,0 +1,98 @@
+package mesh
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDistanceTableMatchesDistance(t *testing.T) {
+	m := MustNew(6, 6)
+	dt := m.DistanceTable()
+	for a := NodeID(0); int(a) < m.Nodes(); a++ {
+		for b := NodeID(0); int(b) < m.Nodes(); b++ {
+			if got, want := dt.Between(a, b), m.Distance(a, b); got != want {
+				t.Fatalf("Between(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// The table is built once and shared read-only; concurrent first use must be
+// safe (this test is meaningful under -race).
+func TestDistanceTableConcurrent(t *testing.T) {
+	m := MustNew(8, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dt := m.DistanceTable()
+			for a := NodeID(0); int(a) < m.Nodes(); a++ {
+				if dt.Between(a, a) != 0 {
+					t.Error("self distance not 0")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAllDistancesAvoidingPristineMatchesManhattan(t *testing.T) {
+	m := MustNew(6, 6)
+	for _, f := range []*FaultSet{nil, NewFaultSet()} {
+		dist := m.AllDistancesAvoiding(f)
+		for a := 0; a < m.Nodes(); a++ {
+			for b := 0; b < m.Nodes(); b++ {
+				if dist[a][b] != m.Distance(NodeID(a), NodeID(b)) {
+					t.Fatalf("dist[%d][%d] = %d, want %d", a, b, dist[a][b], m.Distance(NodeID(a), NodeID(b)))
+				}
+			}
+		}
+	}
+}
+
+func TestAllDistancesAvoidingMemoizedAndInvalidated(t *testing.T) {
+	m := MustNew(6, 6)
+	f := NewFaultSet()
+	f.KillLink(0, 1)
+
+	d1 := m.AllDistancesAvoiding(f)
+	d2 := m.AllDistancesAvoiding(f)
+	if &d1[0][0] != &d2[0][0] {
+		t.Error("repeated calls did not return the memoized table")
+	}
+	if d1[0][1] != 3 {
+		t.Errorf("detour 0->1 around dead link = %d, want 3", d1[0][1])
+	}
+
+	// A mutation must invalidate: killing router 1 partitions nothing else
+	// but makes node 1 unreachable.
+	f.KillRouter(1)
+	d3 := m.AllDistancesAvoiding(f)
+	if &d3[0][0] == &d1[0][0] {
+		t.Error("Kill* did not invalidate the memoized table")
+	}
+	if d3[0][1] != -1 {
+		t.Errorf("dist to dead router = %d, want -1", d3[0][1])
+	}
+}
+
+func TestAllDistancesAvoidingConcurrent(t *testing.T) {
+	m := MustNew(6, 6)
+	f := NewFaultSet()
+	f.KillLink(7, 13)
+	f.KillTile(20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := m.AllDistancesAvoiding(f)
+			if dist[7][13] < 1 {
+				t.Error("bad detour distance")
+			}
+		}()
+	}
+	wg.Wait()
+}

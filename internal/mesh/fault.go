@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ErrPartitioned is returned by fault-aware routing when no live path exists
@@ -30,6 +31,14 @@ type FaultSet struct {
 	deadLinks   map[Link]struct{}
 	deadRouters map[NodeID]struct{}
 	deadTiles   map[NodeID]struct{}
+
+	// distMu guards the memoized fault-aware all-pairs distance table.
+	// Repair, validation and the simulator all need the same table; caching
+	// it here amortizes the per-node BFS across those passes. Any Kill*
+	// mutation invalidates the cache.
+	distMu   sync.Mutex
+	distMesh *Mesh
+	dist     [][]int
 }
 
 // NewFaultSet returns an empty fault set.
@@ -45,13 +54,28 @@ func NewFaultSet() *FaultSet {
 func (f *FaultSet) KillLink(a, b NodeID) {
 	f.deadLinks[Link{From: a, To: b}] = struct{}{}
 	f.deadLinks[Link{From: b, To: a}] = struct{}{}
+	f.invalidateDistances()
 }
 
 // KillRouter marks node n's router dead.
-func (f *FaultSet) KillRouter(n NodeID) { f.deadRouters[n] = struct{}{} }
+func (f *FaultSet) KillRouter(n NodeID) {
+	f.deadRouters[n] = struct{}{}
+	f.invalidateDistances()
+}
 
 // KillTile marks node n's tile (core + caches) dead; its router survives.
-func (f *FaultSet) KillTile(n NodeID) { f.deadTiles[n] = struct{}{} }
+// Tiles do not affect routing, but the cache is dropped anyway to keep the
+// invalidation rule trivially "any mutation clears it".
+func (f *FaultSet) KillTile(n NodeID) {
+	f.deadTiles[n] = struct{}{}
+	f.invalidateDistances()
+}
+
+func (f *FaultSet) invalidateDistances() {
+	f.distMu.Lock()
+	f.distMesh, f.dist = nil, nil
+	f.distMu.Unlock()
+}
 
 // Empty reports whether the fault set (nil included) has no faults.
 func (f *FaultSet) Empty() bool {
@@ -288,22 +312,41 @@ func (m *Mesh) DistanceAvoiding(src, dst NodeID, f *FaultSet) (int, error) {
 	return len(route), nil
 }
 
-// AllDistancesAvoiding computes the fault-aware distance between every node
-// pair in one pass (one BFS per live-router node): dist[a][b] is the live
-// hop count from a to b, or -1 when the pair is partitioned. Schedule repair
-// and validation use it to avoid re-running BFS per query.
+// AllDistancesAvoiding returns the fault-aware distance between every node
+// pair: dist[a][b] is the live hop count from a to b, or -1 when the pair is
+// partitioned. Schedule repair, validation and the simulator use it to avoid
+// re-running BFS per query. The result is memoized — on the fault set for a
+// degraded mesh (cleared by any Kill* mutation), and on the mesh itself for
+// the pristine case — so the returned table is shared: callers must treat it
+// as read-only.
 func (m *Mesh) AllDistancesAvoiding(f *FaultSet) [][]int {
+	if f.Empty() {
+		dt := m.DistanceTable()
+		rows := make([][]int, dt.n)
+		for a := 0; a < dt.n; a++ {
+			rows[a] = dt.d[a*dt.n : (a+1)*dt.n : (a+1)*dt.n]
+		}
+		return rows
+	}
+	f.distMu.Lock()
+	defer f.distMu.Unlock()
+	if f.distMesh == m && f.dist != nil {
+		return f.dist
+	}
+	dist := m.computeAllDistancesAvoiding(f)
+	f.distMesh, f.dist = m, dist
+	return dist
+}
+
+// computeAllDistancesAvoiding does the actual work: one BFS over live links
+// and routers per source node.
+func (m *Mesh) computeAllDistancesAvoiding(f *FaultSet) [][]int {
 	n := m.Nodes()
 	dist := make([][]int, n)
+	queue := make([]NodeID, 0, n)
 	for a := 0; a < n; a++ {
 		row := make([]int, n)
 		dist[a] = row
-		if f.Empty() {
-			for b := 0; b < n; b++ {
-				row[b] = m.Distance(NodeID(a), NodeID(b))
-			}
-			continue
-		}
 		for b := range row {
 			row[b] = -1
 		}
@@ -311,7 +354,7 @@ func (m *Mesh) AllDistancesAvoiding(f *FaultSet) [][]int {
 			continue
 		}
 		row[a] = 0
-		queue := []NodeID{NodeID(a)}
+		queue = append(queue[:0], NodeID(a))
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
@@ -342,14 +385,15 @@ func (m *Mesh) NearestUsableMC(n NodeID, f *FaultSet) (NodeID, error) {
 	if f.Empty() {
 		return m.NearestMC(n), nil
 	}
+	dist := m.AllDistancesAvoiding(f)
 	best := InvalidNode
 	bestD := -1
 	for _, mc := range m.mcs {
 		if !f.NodeUsable(mc) {
 			continue
 		}
-		d, err := m.DistanceAvoiding(n, mc, f)
-		if err != nil {
+		d := dist[n][mc]
+		if d < 0 {
 			continue
 		}
 		if best == InvalidNode || d < bestD || (d == bestD && mc < best) {

@@ -8,7 +8,10 @@
 // accounting used by the timing simulator to estimate contention.
 package mesh
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a node in the mesh. Nodes are numbered row-major:
 // id = y*Cols + x.
@@ -57,6 +60,12 @@ func (m ClusterMode) String() string {
 type Mesh struct {
 	cols, rows int
 	mcs        []NodeID
+
+	// distOnce/dist back DistanceTable: the all-pairs Manhattan distances,
+	// built once on first use and read-only afterwards, so the table can be
+	// shared across worker goroutines without locking.
+	distOnce sync.Once
+	dist     *DistanceTable
 }
 
 // New creates a mesh with the given dimensions. Both dimensions must be at
@@ -118,6 +127,39 @@ func (m *Mesh) Valid(n NodeID) bool {
 func (m *Mesh) Distance(a, b NodeID) int {
 	ca, cb := m.CoordOf(a), m.CoordOf(b)
 	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// DistanceTable is an immutable all-pairs distance view of a mesh. Lookups
+// replace repeated Distance computations in scheduling hot loops; the table
+// is built once per mesh and safe for concurrent readers.
+type DistanceTable struct {
+	n int
+	d []int
+}
+
+// DistanceTable returns the mesh's all-pairs Manhattan distance table,
+// building it on first call. The returned table is shared and read-only;
+// repeated calls return the same table and allocate nothing.
+func (m *Mesh) DistanceTable() *DistanceTable {
+	m.distOnce.Do(func() {
+		n := m.Nodes()
+		d := make([]int, n*n)
+		for a := 0; a < n; a++ {
+			ca := m.CoordOf(NodeID(a))
+			row := d[a*n : (a+1)*n]
+			for b := 0; b < n; b++ {
+				cb := m.CoordOf(NodeID(b))
+				row[b] = abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+			}
+		}
+		m.dist = &DistanceTable{n: n, d: d}
+	})
+	return m.dist
+}
+
+// Between returns the Manhattan distance between nodes a and b.
+func (t *DistanceTable) Between(a, b NodeID) int {
+	return t.d[int(a)*t.n+int(b)]
 }
 
 // MemoryControllers returns the nodes hosting memory controllers, in the

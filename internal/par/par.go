@@ -1,0 +1,73 @@
+// Package par provides the bounded worker pool shared by the partitioner's
+// window sweep and the experiment engine. The pool is deliberately minimal:
+// tasks are identified by index, workers pull the next index from an atomic
+// counter, and each task writes its result into a caller-owned slot. Because
+// slots are indexed, the caller aggregates results in the same order as a
+// serial loop, which is what keeps parallel runs byte-identical to serial
+// ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a -j style worker count: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS).
+func Jobs(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// ForEach runs fn(i) for every i in [0, n) on min(Jobs(jobs), n) workers.
+// With an effective worker count of one it degenerates to a plain loop on the
+// calling goroutine. fn must confine its writes to per-index state (slot i of
+// a results slice); ForEach provides no ordering between tasks beyond full
+// completion on return.
+func ForEach(jobs, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Jobs(jobs)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the lowest-index non-nil error, mirroring the error a
+// serial loop with early exit would have reported.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

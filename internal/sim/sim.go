@@ -239,6 +239,7 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	dt := cfg.Mesh.DistanceTable()
 	routeCache := make(map[[2]mesh.NodeID][]mesh.Link)
 	var routeErr error
 	routeOf := func(from, to mesh.NodeID) []mesh.Link {
@@ -254,10 +255,32 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 		return r
 	}
 
+	// Nearest-MC answers repeat for every miss sourced at the same node and
+	// the fault set is fixed within a run, so memoize them per source node.
+	mcMemo := make([]mesh.NodeID, cfg.Mesh.Nodes())
+	for i := range mcMemo {
+		mcMemo[i] = mesh.InvalidNode
+	}
+	servingMCOf := func(from mesh.NodeID) (mesh.NodeID, error) {
+		if mc := mcMemo[from]; mc != mesh.InvalidNode {
+			return mc, nil
+		}
+		mc := cfg.Mesh.NearestMC(from)
+		if faulty {
+			var err error
+			mc, err = cfg.Mesh.NearestUsableMC(from, cfg.Faults)
+			if err != nil {
+				return mesh.InvalidNode, err
+			}
+		}
+		mcMemo[from] = mc
+		return mc, nil
+	}
+
 	var recAcc float64
 	transferLatency := func(from, to mesh.NodeID, now float64) float64 {
 		var route []mesh.Link
-		hopCount := cfg.Mesh.Distance(from, to)
+		hopCount := dt.Between(from, to)
 		if faulty {
 			route = routeOf(from, to)
 			hopCount = len(route)
@@ -349,13 +372,9 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 				// the compiler mispredicted and placed the fetch at a home
 				// bank, the request still drains through that bank's MC — or,
 				// on a degraded mesh, the nearest controller that survives.
-				servingMC := cfg.Mesh.NearestMC(f.From)
-				if faulty {
-					var mcErr error
-					servingMC, mcErr = cfg.Mesh.NearestUsableMC(f.From, cfg.Faults)
-					if mcErr != nil {
-						return nil, fmt.Errorf("sim: task %d: %w", t.ID, mcErr)
-					}
+				servingMC, mcErr := servingMCOf(f.From)
+				if mcErr != nil {
+					return nil, fmt.Errorf("sim: task %d: %w", t.ID, mcErr)
 				}
 				mc := mcKey(servingMC, f.Line)
 				ready := max(start, mcFree[mc])

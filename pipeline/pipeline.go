@@ -67,6 +67,10 @@ type Config struct {
 	UsePredictor bool
 	// IdealAnalysis gives the compiler oracle data-location knowledge.
 	IdealAnalysis bool
+	// Jobs bounds the worker pool the partitioner's window sweep runs on.
+	// <= 0 means one worker per CPU; 1 forces serial execution. The report is
+	// identical at every setting.
+	Jobs int
 }
 
 // DefaultConfig mirrors the paper's evaluation platform.
@@ -211,6 +215,7 @@ func build(k Kernel, cfg Config) (*ir.Program, *ir.Nest, *ir.Store, core.Options
 	}
 	opts.FixedWindow = cfg.FixedWindow
 	opts.IdealAnalysis = cfg.IdealAnalysis
+	opts.Jobs = cfg.Jobs
 	if cfg.UsePredictor && !cfg.IdealAnalysis {
 		opts.Predictor = predictor.MustNew(predictor.Config{
 			L2TotalBytes: opts.L2BankBytes * uint64(opts.Mesh.Nodes()),
