@@ -1,0 +1,81 @@
+// Command dmacplint is dmacp's project linter: a multichecker over the
+// internal/analysis suite that statically enforces the determinism and
+// concurrency invariants the scheduler depends on. It is part of `make lint`
+// (and therefore `make check`) and runs in CI; a non-empty finding list is a
+// build failure.
+//
+// The four analyzers:
+//
+//	maporder       no order-sensitive map iteration on the schedule-emission
+//	               path (byte-identical schedules at any -j)
+//	parownership   par.ForEach workers write only their own indexed slot or
+//	               under a mutex (PR 5's ownership rule, mechanized)
+//	seeddiscipline no global math/rand or wall-clock seeds outside tests
+//	               (every stochastic harness replays from its recorded seed)
+//	bytehops       unit consistency of bytes, hops and bytes×hops movement
+//
+// Usage:
+//
+//	dmacplint [-analyzers maporder,bytehops] [-tests] [packages ...]
+//
+// Packages default to ./... relative to the current directory. Deliberate
+// exceptions are granted inline:
+//
+//	//lint:dmacp-allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmacp/internal/analysis"
+)
+
+func main() {
+	var (
+		sel   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		docs  = flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	)
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacplint:", err)
+		os.Exit(2)
+	}
+	if *docs {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacplint:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		if d.Fix != nil {
+			fmt.Printf("\tsuggested fix (%s):\n\t%s\n",
+				d.Fix.Message, strings.ReplaceAll(d.Fix.Replacement, "\n", "\n\t"))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dmacplint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package allowlist is the fixture for allow-directive hygiene: a directive
+// must name an analyzer and give a reason, or it is itself a finding.
+package allowlist
+
+import "math/rand"
+
+// Malformed: no analyzer, no reason.
+//lint:dmacp-allow
+func bare() {}
+
+// Malformed: analyzer but no reason.
+//lint:dmacp-allow seeddiscipline
+func noReason() {}
+
+// Well-formed, and actually suppressing a real finding.
+func wellFormed() float64 {
+	//lint:dmacp-allow seeddiscipline fixture demonstrates a valid directive
+	return rand.Float64()
+}

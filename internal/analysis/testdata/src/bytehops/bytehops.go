@@ -1,0 +1,73 @@
+// Package bytehops is the fixture for the bytehops analyzer: dimensional
+// consistency of bytes, hops, and bytes×hops movement quantities.
+package bytehops
+
+// stats mirrors the project's movement-accounting shapes.
+type stats struct {
+	TotalMovement int64
+	MaxMovement   int
+	LineBytes     uint64
+	WaitHops      []int
+}
+
+var sink int64
+
+// Flagged: raw additive mixing of bytes and hops.
+func mixAdd(transferBytes, hops int64) int64 {
+	return transferBytes + hops // want "unit mismatch"
+}
+
+// Flagged: comparing quantities of different dimensions.
+func mixCompare(st stats, hops int) bool {
+	return st.TotalMovement < int64(hops) // want "unit mismatch"
+}
+
+// Flagged: multiplying a movement figure by hops again double-counts the
+// distance term.
+func doubleMultiply(st stats, hops int64) int64 {
+	return st.TotalMovement * hops // want "double-multiplied unit"
+}
+
+// Flagged: accumulating bare bytes into a movement total drops the distance
+// term.
+func accumulateBytes(st *stats, transferBytes int64) {
+	st.TotalMovement += transferBytes // want "unit mismatch"
+}
+
+// Not flagged: the objective itself — bytes times hops, exactly once.
+func movementTerm(lineBytes, hops int64) int64 {
+	return lineBytes * hops
+}
+
+// Not flagged: accumulating a proper bytes×hops term into a movement total.
+func accumulateMovement(st *stats, lineBytes, hops int64) {
+	st.TotalMovement += lineBytes * hops
+}
+
+// Not flagged: same-unit arithmetic and comparisons.
+func sameUnits(st stats, otherMovement int64, moreBytes uint64) {
+	sink = st.TotalMovement + otherMovement
+	if st.LineBytes+moreBytes > 0 {
+		sink++
+	}
+	for _, h := range st.WaitHops {
+		sink += int64(h)
+	}
+}
+
+// Not flagged: dividing movement by movement yields a dimensionless ratio
+// that may be compared with anything.
+func ratio(a, b stats) bool {
+	return float64(a.TotalMovement)/float64(b.TotalMovement) > 1.5
+}
+
+// Not flagged: unknown-unit operands propagate leniently.
+func lenient(st stats, n int64) int64 {
+	return st.TotalMovement + 0 + func() int64 { return n }()
+}
+
+// Not flagged: a deliberate exception, documented inline.
+func allowlisted(transferBytes, hops int64) int64 {
+	//lint:dmacp-allow bytehops demonstrating the allowlist escape hatch
+	return transferBytes + hops
+}

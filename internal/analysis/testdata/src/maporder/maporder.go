@@ -1,0 +1,91 @@
+// Package maporder is the fixture for the maporder analyzer: flagged map
+// ranges, the order-insensitive exemptions, the sorted-keys pattern, and the
+// allowlist escape hatch.
+package maporder
+
+import "sort"
+
+var sink []int
+
+// Flagged: appending map values to a shared slice publishes iteration order.
+func leakOrderIntoSlice(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map m in a schedule-emission package"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Flagged: returning from inside a map range makes the result depend on
+// which key the runtime happened to visit first.
+func leakOrderViaReturn(m map[string]bool) string {
+	for k := range m { // want "range over map m"
+		if m[k] {
+			return k
+		}
+	}
+	return ""
+}
+
+// Flagged: numeric accumulation is outside the conservative exemption (it is
+// order-sensitive for floats, and indistinguishable syntactically).
+func accumulate(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+	return total
+}
+
+// Not flagged: the body only writes into maps and loop-local state.
+func invertMap(m map[int]string) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		key := v // loop-local intermediate
+		inv[key] = k
+	}
+	return inv
+}
+
+// Not flagged: building a set and deleting from another map are both
+// order-insensitive effects.
+func setAndDelete(m map[int]int, dead map[int]bool) map[int]struct{} {
+	set := make(map[int]struct{})
+	for k := range m {
+		if dead[k] {
+			delete(m, k)
+			continue
+		}
+		set[k] = struct{}{}
+	}
+	return set
+}
+
+// Not flagged: the sanctioned pattern — collect, sort, then range the slice.
+func sortedKeys(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sink = append(sink, m[k])
+	}
+}
+
+// Not flagged: a deliberate exception, documented inline.
+func allowlisted(m map[int]int) int {
+	n := 0
+	//lint:dmacp-allow maporder counting elements is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Flagged: a trailing allow for a different analyzer does not suppress.
+func wrongAnalyzerAllow(m map[int]int) {
+	for _, v := range m { //lint:dmacp-allow bytehops not the right analyzer // want "range over map m"
+		sink = append(sink, v)
+	}
+}

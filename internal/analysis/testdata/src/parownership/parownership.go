@@ -1,0 +1,106 @@
+// Package parownership is the fixture for the parownership analyzer: the
+// indexed-slot ownership rule inside par.ForEach worker closures.
+package parownership
+
+import (
+	"sync"
+
+	"dmacp/internal/par"
+)
+
+// Not flagged: the canonical pattern — each worker writes only its own
+// indexed result slot and loop-local state.
+func ownedSlots(items []int) ([]int, []error) {
+	results := make([]int, len(items))
+	errs := make([]error, len(items))
+	par.ForEach(0, len(items), func(i int) {
+		local := items[i] * 2
+		results[i] = local
+		errs[i] = nil
+	})
+	return results, errs
+}
+
+// Not flagged: derived slot indices still reference the worker's parameter.
+func offsetSlots(out []int, off int) {
+	par.ForEach(4, 8, func(i int) {
+		out[off+i] = i
+	})
+}
+
+// Flagged: appending to a captured slice races and destroys the indexed
+// in-order merge.
+func sharedAppend(items []int) []int {
+	var out []int
+	par.ForEach(0, len(items), func(i int) {
+		out = append(out, items[i]) // want "write to captured \"out\""
+	})
+	return out
+}
+
+// Flagged: a captured scalar accumulator is not an owned slot.
+func sharedCounter(n int) int {
+	total := 0
+	par.ForEach(0, n, func(i int) {
+		total += i // want "write to captured \"total\""
+	})
+	return total
+}
+
+// Flagged: a map bucket is never an owned slot, even keyed by i.
+func sharedMap(n int) map[int]int {
+	m := make(map[int]int)
+	par.ForEach(0, n, func(i int) {
+		m[i] = i * i // want "write to captured \"m\""
+	})
+	return m
+}
+
+// Not flagged: writes under an explicit mutex are the sanctioned way to
+// aggregate cross-worker state.
+func mutexGuarded(n int) int {
+	var mu sync.Mutex
+	total := 0
+	par.ForEach(0, n, func(i int) {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+	})
+	return total
+}
+
+// Not flagged: Lock with deferred Unlock keeps the rest of the closure
+// guarded.
+func deferUnlock(n int) map[int]bool {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	par.ForEach(0, n, func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i] = true
+	})
+	return seen
+}
+
+// Flagged: releasing the lock ends the guarded section.
+func unlockTooEarly(n int) int {
+	var mu sync.Mutex
+	total := 0
+	par.ForEach(0, n, func(i int) {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+		total -= i // want "write to captured \"total\""
+	})
+	return total
+}
+
+// Not flagged: a deliberate exception, documented inline.
+func allowlisted(n int) int {
+	last := 0
+	par.ForEach(1, n, func(i int) {
+		//lint:dmacp-allow parownership jobs=1 forces serial execution here
+		last = i
+	})
+	return last
+}

@@ -1,0 +1,18 @@
+package seeddiscipline
+
+// Test files are exempt from seed discipline: test randomness never reaches
+// an emitted schedule or report, so nothing in this file is flagged.
+
+import (
+	"math/rand"
+	"time"
+)
+
+func fuzzSeedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func shuffleInputs(n int) int {
+	rand.Shuffle(n, func(i, j int) {})
+	return rand.Intn(n + 1)
+}

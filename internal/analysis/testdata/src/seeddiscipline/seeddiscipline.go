@@ -1,0 +1,43 @@
+// Package seeddiscipline is the fixture for the seeddiscipline analyzer:
+// global math/rand functions and wall-clock seeds are banned outside tests.
+package seeddiscipline
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: package-level functions draw from the auto-seeded global source.
+func globalSource(n int) int {
+	x := rand.Intn(n) // want "math/rand.Intn draws from the auto-seeded global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "math/rand.Shuffle draws from the auto-seeded global source"
+	return x + rand.Int() // want "math/rand.Int draws from the auto-seeded global source"
+}
+
+// Flagged: a wall-clock seed is not replayable.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seed derived from time.Now"
+}
+
+// Not flagged: the sanctioned pattern — an explicit caller-supplied seed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Not flagged: methods on an explicit generator are fine anywhere.
+func useSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	return rng.Intn(n)
+}
+
+// Not flagged: time.Now for timing (not seeding) is fine.
+func elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Not flagged: a deliberate exception, documented inline.
+func allowlisted() float64 {
+	//lint:dmacp-allow seeddiscipline jitter here never reaches a report
+	return rand.Float64()
+}

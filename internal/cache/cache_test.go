@@ -195,3 +195,110 @@ func TestCyclicThrashing(t *testing.T) {
 		t.Errorf("cyclic overflow produced %d hits, want 0", st.Hits)
 	}
 }
+
+// Edge cases surfaced while writing the bytehops unit fixtures: degenerate
+// capacities, zero-byte access patterns, and single-sample statistics.
+
+// A single-line cache (capacity == line size, one way) is the smallest legal
+// configuration; every distinct line must evict the previous one.
+func TestSingleLineCache(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64, LineBytes: 64, Ways: 1})
+	if c.Config().Sets() != 1 {
+		t.Fatalf("Sets = %d, want 1", c.Config().Sets())
+	}
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(63) {
+		t.Error("same-line access missed") // 0 and 63 share the line
+	}
+	if c.Access(64) {
+		t.Error("new line hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 2 misses, 1 eviction", s)
+	}
+	if c.Lines() != 1 {
+		t.Errorf("Lines = %d, want 1", c.Lines())
+	}
+}
+
+// Address zero is a valid line address: the "zero-byte transfer" kernels map
+// their first array element there.
+func TestAddressZero(t *testing.T) {
+	c := MustNew(small())
+	if c.Contains(0) {
+		t.Error("empty cache contains line 0")
+	}
+	c.Access(0)
+	if !c.Contains(0) {
+		t.Error("line 0 not resident after access")
+	}
+	if !c.Invalidate(0) {
+		t.Error("Invalidate(0) found nothing")
+	}
+	if c.Invalidate(0) {
+		t.Error("double Invalidate(0) succeeded")
+	}
+}
+
+// Contains and a failed Invalidate must not perturb statistics or LRU
+// state: the compiler-side reuse model probes without side effects.
+func TestProbesAreSideEffectFree(t *testing.T) {
+	c := MustNew(small())
+	c.Access(0)
+	c.Access(512) // same set as 0 in the 4-set config
+	before := c.Stats()
+	c.Contains(0)
+	c.Contains(4096)
+	c.Invalidate(4096)
+	if got := c.Stats(); got != before {
+		t.Errorf("probe changed stats: %+v -> %+v", before, got)
+	}
+	// LRU order must still evict 0 (least recent) on the next conflict.
+	c.Access(1024)
+	if c.Contains(0) {
+		t.Error("probe refreshed LRU position of line 0")
+	}
+	if !c.Contains(512) {
+		t.Error("wrong line evicted after probes")
+	}
+}
+
+// Single-sample and no-sample statistics: HitRate must be a well-defined
+// ratio, never NaN.
+func TestStatsSingleSample(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 || s.Accesses() != 0 {
+		t.Errorf("zero stats: rate %v, accesses %d", s.HitRate(), s.Accesses())
+	}
+	s = Stats{Hits: 1}
+	if s.HitRate() != 1 {
+		t.Errorf("single-hit rate = %v, want 1", s.HitRate())
+	}
+	s = Stats{Misses: 1}
+	if s.HitRate() != 0 {
+		t.Errorf("single-miss rate = %v, want 0", s.HitRate())
+	}
+}
+
+// ResetStats clears counters but keeps contents; Flush clears both.
+func TestResetAndFlush(t *testing.T) {
+	c := MustNew(small())
+	c.Access(0)
+	c.ResetStats()
+	if got := c.Stats(); got != (Stats{}) {
+		t.Errorf("stats after reset: %+v", got)
+	}
+	if !c.Contains(0) {
+		t.Error("reset dropped contents")
+	}
+	c.Flush()
+	if c.Contains(0) || c.Lines() != 0 {
+		t.Error("flush kept contents")
+	}
+	if !c.Access(0) == false {
+		t.Error("post-flush access hit")
+	}
+}

@@ -145,10 +145,12 @@ func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 			migrate[i] = true
 		}
 	}
+	dead := make([]mesh.NodeID, 0, len(stranded))
 	for n := range stranded {
-		rep.DeadNodes = append(rep.DeadNodes, n)
+		dead = append(dead, n)
 	}
-	sort.Slice(rep.DeadNodes, func(i, j int) bool { return rep.DeadNodes[i] < rep.DeadNodes[j] })
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	rep.DeadNodes = dead
 
 	// Re-home fetches that can no longer be served from their source; on a
 	// migrating task every fetch is revisited after placement, but the

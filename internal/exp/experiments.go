@@ -121,13 +121,14 @@ func (r *Runner) Table3() (*Experiment, error) {
 			return nil, err
 		}
 		mix := map[ir.OpClass]int{}
-		total := 0
 		for _, n := range ar.Nests {
 			for c, k := range n.Opt.OffloadMix {
 				mix[c] += k
-				total += k
 			}
 		}
+		// Total over the fixed class enumeration, not the map, so no
+		// iteration order is observed (maporder).
+		total := mix[ir.ClassAddSub] + mix[ir.ClassMulDiv] + mix[ir.ClassOther]
 		if total == 0 {
 			total = 1
 		}

@@ -134,3 +134,80 @@ func TestGeomeanReductionMonotonic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Single-sample aggregates: every reducer over one observation must return
+// that observation (surfaced while writing the bytehops unit fixtures, where
+// one-transfer kernels produce single-sample tables).
+func TestSingleSampleAggregates(t *testing.T) {
+	one := []float64{3.5}
+	if got := Mean(one); got != 3.5 {
+		t.Errorf("Mean(single) = %v, want 3.5", got)
+	}
+	if got := Geomean(one); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Geomean(single) = %v, want 3.5", got)
+	}
+	if got := Max(one); got != 3.5 {
+		t.Errorf("Max(single) = %v, want 3.5", got)
+	}
+	if got := GeomeanReduction([]float64{4}, []float64{2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GeomeanReduction(single 2x speedup) = %v, want 0.5", got)
+	}
+}
+
+// Max over negative-only input must return the true maximum: the i==0
+// guard makes the zero initial value irrelevant.
+func TestMaxNegativeOnly(t *testing.T) {
+	if got := Max([]float64{-2, -1}); got != -1 {
+		t.Errorf("Max(-2,-1) = %v, want -1", got)
+	}
+}
+
+// Zero-byte transfers produce zero movement figures: the reduction helpers
+// must treat an all-zero base as "no improvement claimable", not NaN or Inf.
+func TestZeroBaseReductions(t *testing.T) {
+	if got := Reduction(0, 0); got != 0 {
+		t.Errorf("Reduction(0,0) = %v, want 0", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Errorf("Reduction(0,5) = %v, want 0", got)
+	}
+	if got := GeomeanReduction([]float64{1, 1}, []float64{1, 0}); got != 0 {
+		t.Errorf("GeomeanReduction with zero optimized = %v, want 0", got)
+	}
+	if got := GeomeanReduction([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("GeomeanReduction with mismatched lengths = %v, want 0", got)
+	}
+	if got := GeomeanReduction(nil, nil); got != 0 {
+		t.Errorf("GeomeanReduction(nil, nil) = %v, want 0", got)
+	}
+}
+
+// A slowdown (negative reduction) must round-trip through the geomean
+// correctly rather than clamping at the epsilon floor.
+func TestGeomeanReductionSlowdown(t *testing.T) {
+	got := GeomeanReduction([]float64{1}, []float64{2}) // 0.5x speedup
+	if math.Abs(got-(-1)) > 1e-9 {
+		t.Errorf("GeomeanReduction(slowdown 2x) = %v, want -1", got)
+	}
+}
+
+// Ragged tables: rows wider than the header must widen the layout, not
+// panic or truncate.
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.Add("x", 1.0, "extra")
+	tab.Add()
+	out := tab.String()
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "extra") {
+		t.Errorf("ragged table lost cells:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header, rule, 2 rows
+		t.Errorf("table has %d lines, want 4:\n%s", lines, out)
+	}
+}
+
+func TestPctZero(t *testing.T) {
+	if got := Pct(0); got != "0.0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+}

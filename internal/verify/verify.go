@@ -499,6 +499,10 @@ func checkBounds(in Input, o Options, rep *Report) {
 				continue // indirect/nonlinear: runtime-dependent
 			}
 			lo, hi := aff.Const, aff.Const
+			// Integer interval accumulation commutes: lo/hi are sums of
+			// per-variable terms, so iteration order cannot reach the
+			// report.
+			//lint:dmacp-allow maporder commutative int accumulation; order never leaves the loop
 			for v, c := range aff.Coeffs {
 				b := bounds[v]
 				if c >= 0 {

@@ -1,0 +1,129 @@
+package pipeline_test
+
+// Determinism regression test for the whole emission path: the verify report
+// over all twelve workloads must be byte-for-byte identical across processes.
+// Each Go process draws a fresh map hash seed, so re-execing the test binary
+// is exactly the map-iteration-order perturbation the maporder analyzer
+// guards against; the two children additionally run with different worker
+// counts (-j 1 vs -j 4) and a shuffled environment so scheduler interleaving
+// and environment layout cannot leak into the report either.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"dmacp/pipeline"
+)
+
+const (
+	determinismChildEnv = "DMACP_DETERMINISM_CHILD"
+	determinismOutEnv   = "DMACP_DETERMINISM_OUT"
+	determinismJobsEnv  = "DMACP_DETERMINISM_JOBS"
+
+	// Small-scale run so two full all-workload sweeps stay test-suite fast.
+	determinismIters = 48
+	determinismElems = 4096
+)
+
+// TestDeterminismChild is not a test of its own: it is the body the parent
+// re-execs. It mirrors `dmacp verify -app all`'s report format.
+func TestDeterminismChild(t *testing.T) {
+	if os.Getenv(determinismChildEnv) != "1" {
+		t.Skip("child mode only; driven by TestVerifyReportDeterministic")
+	}
+	jobs, err := strconv.Atoi(os.Getenv(determinismJobsEnv))
+	if err != nil {
+		t.Fatalf("bad %s: %v", determinismJobsEnv, err)
+	}
+	var buf bytes.Buffer
+	for _, name := range pipeline.WorkloadNames() {
+		cfg := pipeline.DefaultConfig()
+		cfg.Jobs = jobs
+		checks, err := pipeline.CheckAppSchedules(name, determinismIters, determinismElems, cfg)
+		if err != nil {
+			t.Fatalf("CheckAppSchedules(%s): %v", name, err)
+		}
+		fmt.Fprintf(&buf, "-- %s --\n", name)
+		for _, c := range checks {
+			fmt.Fprintf(&buf, "%-9s %s\n", c.Schedule+":", c.Summary)
+			fmt.Fprintf(&buf, "  kinds: %s\n", c.Kinds)
+			for _, d := range c.Diagnostics {
+				fmt.Fprintf(&buf, "  %s\n", d)
+			}
+		}
+	}
+	if err := os.WriteFile(os.Getenv(determinismOutEnv), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyReportDeterministic re-execs the test binary twice — fresh map
+// hash seed, different -j, shuffled env — and diffs the reports.
+func TestVerifyReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs two all-workload verify sweeps")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	run := func(label string, jobs int, extraEnv []string) []byte {
+		t.Helper()
+		out := filepath.Join(dir, label+".report")
+		cmd := exec.Command(exe, "-test.run", "^TestDeterminismChild$", "-test.v")
+		cmd.Env = append(append([]string{
+			determinismChildEnv + "=1",
+			determinismOutEnv + "=" + out,
+			determinismJobsEnv + "=" + strconv.Itoa(jobs),
+		}, extraEnv...), os.Environ()...)
+		if combined, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("child %s failed: %v\n%s", label, err, combined)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("child %s wrote no report: %v", label, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("child %s wrote an empty report", label)
+		}
+		return data
+	}
+
+	// The second child gets a different worker count and a padded, reordered
+	// environment (environment block size and layout can shift allocation
+	// patterns; none of it may reach the report).
+	a := run("serial", 1, nil)
+	b := run("parallel", 4, []string{
+		"DMACP_DETERMINISM_PAD_A=" + string(bytes.Repeat([]byte("x"), 1024)),
+		"DMACP_DETERMINISM_PAD_B=1",
+	})
+	if !bytes.Equal(a, b) {
+		t.Errorf("verify reports differ between -j 1 and -j 4 runs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			firstDiffContext(a, b), firstDiffContext(b, a))
+	}
+}
+
+// firstDiffContext returns a window around the first differing byte, so a
+// regression shows where the reports diverge without dumping both in full.
+func firstDiffContext(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 200
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 200
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
