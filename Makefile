@@ -11,7 +11,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 # cannot be obtained, instead of degrading to a notice in offline sandboxes.
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep bench-closure bench bench-json check
+.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep onlinesweep bench-closure bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,14 @@ verifybig:
 faultsweep:
 	$(GO) test ./internal/exp/ -run TestFaultSweepAllWorkloadsRepairClean -count=1
 
+# Online fault-arrival gate over all 12 workloads: every mid-run fault event
+# must be repaired into a verifier-clean residual schedule, batched min-cost
+# reassignment must never lose to the greedy baseline (and win strictly on
+# >= 3 workloads), and checkpointed re-repair must beat re-partition-from-
+# scratch on mean total movement.
+onlinesweep:
+	$(GO) test ./internal/exp/ -run TestOnlineSweepGate -count=1
+
 # Closure construction/query microbenchmarks, interval index vs the bitset
 # reference (numbers recorded in EXPERIMENTS.md).
 bench-closure:
@@ -86,9 +94,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Benchmark-trajectory harness: micro hot-path costs + serial-vs-parallel
-# suite timings + table byte-identity check, recorded to BENCH_5.json.
+# suite timings + table byte-identity check, recorded to BENCH_7.json.
 bench-json: build
-	$(GO) run ./cmd/dmacp bench -o BENCH_5.json
+	$(GO) run ./cmd/dmacp bench -o BENCH_7.json
 
-check: build vet lint staticcheck test race verifybig faultsweep bench-json
+check: build vet lint staticcheck test race verifybig faultsweep onlinesweep bench-json
 	@echo "check: all gates passed"

@@ -4,7 +4,7 @@ package main
 // hot-path micro costs (distance lookups, partitioning, simulation) with
 // testing.Benchmark, times the experiment suite serial (-j 1) versus parallel
 // (-j N), asserts the two runs produce byte-identical tables, and writes the
-// whole record to a JSON file (BENCH_5.json by default) so successive PRs can
+// whole record to a JSON file (BENCH_7.json by default) so successive PRs can
 // track the performance trajectory.
 
 import (
@@ -41,7 +41,7 @@ type benchGroup struct {
 	Headline        map[string]float64 `json:"headline,omitempty"`
 }
 
-// benchReport is the BENCH_5.json schema.
+// benchReport is the BENCH_7.json schema.
 type benchReport struct {
 	Schema       string       `json:"schema"`
 	NumCPU       int          `json:"num_cpu"`
@@ -81,6 +81,7 @@ var benchSuiteIDs = [][]string{
 		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "ablations"},
 	{"verifydiff"},
 	{"faultsweep"},
+	{"onlinesweep"},
 }
 
 func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
@@ -93,6 +94,7 @@ func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
 		"fig17": r.Fig17, "fig18": r.Fig18, "fig19": r.Fig19, "fig20": r.Fig20,
 		"fig21": r.Fig21, "fig22": r.Fig22, "fig23": r.Fig23, "fig24": r.Fig24,
 		"ablations": r.Ablations, "verifydiff": r.VerifyDiff, "faultsweep": r.FaultSweep,
+		"onlinesweep": r.OnlineSweep,
 	}
 	out := &suiteRun{
 		tables:   map[string]string{},
@@ -146,7 +148,7 @@ func identicalRuns(a, b *suiteRun) bool {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("dmacp bench", flag.ExitOnError)
 	var (
-		out   = fs.String("o", "BENCH_5.json", "output JSON path (\"-\" for stdout)")
+		out   = fs.String("o", "BENCH_7.json", "output JSON path (\"-\" for stdout)")
 		iters = fs.Int("iters", 48, "workload base iterations for the suite timing")
 		elems = fs.Int("elems", 1<<13, "workload array length for the suite timing")
 		jobs  = fs.Int("j", 0, "parallel worker count to compare against serial (<= 0 = one per CPU)")
@@ -211,6 +213,38 @@ func runBench(args []string) {
 	rep.Micro = append(rep.Micro, microBench("sim/Run", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Run(part.Schedule, simCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Online-repair timing: checkpoint a mid-run fault arrival once, then
+	// measure the residual re-repair (checkpoint surgery + migration
+	// accounting + batched reassignment + verifier gate) on its own.
+	baseRun, err := sim.Run(part.Schedule, simCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacp bench:", err)
+		os.Exit(1)
+	}
+	faults := mesh.Inject(m, 1, 3, 0, 1, true)
+	evCfg := simCfg
+	evCfg.FaultEvents = []sim.FaultEvent{{Cycle: baseRun.Cycles / 2, Faults: faults}}
+	evRun, err := sim.Run(part.Schedule, evCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacp bench:", err)
+		os.Exit(1)
+	}
+	ck := evRun.Checkpoints[0]
+	rep.Micro = append(rep.Micro, microBench("sim/Run+checkpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(part.Schedule, evCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Micro = append(rep.Micro, microBench("core/RepairOnline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RepairOnline(part.Schedule, ck, m, faults, core.RepairOptions{}, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,149 @@
+package assign
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates every feasible assignment of n tasks to slots under
+// the capacities and returns the minimum total cost. Exponential; test
+// instances stay tiny.
+func bruteForce(n int, cap []int, c [][]int64) (int64, bool) {
+	used := make([]int, len(cap))
+	const inf = int64(1) << 62
+	var rec func(i int) int64
+	rec = func(i int) int64 {
+		if i == n {
+			return 0
+		}
+		best := inf
+		for j := range cap {
+			if used[j] >= cap[j] {
+				continue
+			}
+			used[j]++
+			if rest := rec(i + 1); rest < inf && c[i][j]+rest < best {
+				best = c[i][j] + rest
+			}
+			used[j]--
+		}
+		return best
+	}
+	v := rec(0)
+	return v, v < inf
+}
+
+func costFn(c [][]int64) func(int, int) int64 {
+	return func(i, j int) int64 { return c[i][j] }
+}
+
+func TestMinCostMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		cap := make([]int, m)
+		total := 0
+		for j := range cap {
+			cap[j] = rng.Intn(4)
+			total += cap[j]
+		}
+		c := make([][]int64, n)
+		for i := range c {
+			c[i] = make([]int64, m)
+			for j := range c[i] {
+				c[i][j] = int64(rng.Intn(50))
+			}
+		}
+		want, feasible := bruteForce(n, cap, c)
+		got, gotCost, err := MinCost(n, cap, costFn(c))
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: infeasible instance returned %v, want ErrInfeasible", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: MinCost: %v", trial, err)
+		}
+		if gotCost != want {
+			t.Fatalf("trial %d: cost %d, brute force says %d (n=%d cap=%v c=%v)", trial, gotCost, want, n, cap, c)
+		}
+		// The returned assignment must realize the claimed cost and respect
+		// capacities.
+		usedCheck := make([]int, m)
+		var sum int64
+		for i, j := range got {
+			if j < 0 || j >= m {
+				t.Fatalf("trial %d: task %d assigned to invalid slot %d", trial, i, j)
+			}
+			usedCheck[j]++
+			sum += c[i][j]
+		}
+		if sum != gotCost {
+			t.Fatalf("trial %d: assignment sums to %d, reported %d", trial, sum, gotCost)
+		}
+		for j, u := range usedCheck {
+			if u > cap[j] {
+				t.Fatalf("trial %d: slot %d holds %d tasks, capacity %d", trial, j, u, cap[j])
+			}
+		}
+	}
+}
+
+func TestMinCostDeterministic(t *testing.T) {
+	// An all-ties instance: every assignment costs the same, so only the
+	// documented tie-breaking decides. Two runs must agree exactly.
+	n := 6
+	cap := []int{2, 2, 2}
+	flat := func(i, j int) int64 { return 5 }
+	a, _, err := MinCost(n, cap, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MinCost(n, cap, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic assignment: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMinCostBeatsGreedyOnOrderingTrap(t *testing.T) {
+	// The classic greedy failure: task 0 grabs the shared cheap slot, forcing
+	// task 1 onto an expensive one. Batched assignment swaps them.
+	//        slot0 slot1
+	// task0    1    2
+	// task1    1   10
+	c := [][]int64{{1, 2}, {1, 10}}
+	cap := []int{1, 1}
+	got, cost, err := MinCost(2, cap, costFn(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 {
+		t.Fatalf("cost = %d, want 3 (greedy ID order pays 1+10=11)", cost)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("assignment = %v, want [1 0]", got)
+	}
+}
+
+func TestMinCostEdgeCases(t *testing.T) {
+	if got, cost, err := MinCost(0, []int{1}, nil); err != nil || cost != 0 || got != nil {
+		t.Fatalf("zero tasks: got %v cost %d err %v", got, cost, err)
+	}
+	if _, _, err := MinCost(1, nil, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("zero slots: err = %v, want ErrInfeasible", err)
+	}
+	if _, _, err := MinCost(3, []int{1, 1}, func(i, j int) int64 { return 0 }); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("capacity short: err = %v, want ErrInfeasible", err)
+	}
+	if _, _, err := MinCost(1, []int{1}, func(i, j int) int64 { return -1 }); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}

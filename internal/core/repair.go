@@ -4,20 +4,57 @@ import (
 	"fmt"
 	"sort"
 
+	"dmacp/internal/assign"
 	"dmacp/internal/mesh"
 )
+
+// AssignStrategy selects how migrating tasks are matched to surviving nodes.
+type AssignStrategy int
+
+const (
+	// AssignAuto (the default) solves the batched min-cost assignment and
+	// the greedy ID-order placement on separate clones and commits whichever
+	// repaired schedule moves less data, tie-breaking toward the batched
+	// result. The accepted repair is therefore never worse than the PR 3
+	// greedy baseline.
+	AssignAuto AssignStrategy = iota
+	// AssignGreedy is the PR 3 baseline: tasks are placed one at a time in
+	// ID order on the cheapest non-overloaded node. Kept for comparison
+	// sweeps.
+	AssignGreedy
+	// AssignMinCost solves the whole stranded-task batch as one min-cost
+	// flow (internal/assign) over tasks x candidate nodes, with per-node
+	// capacities bounding load skew.
+	AssignMinCost
+)
+
+// String names the strategy for reports.
+func (a AssignStrategy) String() string {
+	switch a {
+	case AssignGreedy:
+		return "greedy"
+	case AssignMinCost:
+		return "mincost"
+	}
+	return "auto"
+}
 
 // RepairOptions tunes RepairSchedule.
 type RepairOptions struct {
 	// Full re-places every task from scratch instead of migrating only the
 	// tasks stranded on dead or unreachable nodes. It is the escalation step
 	// of RepairVerified: a clean slate when incremental migration produced a
-	// schedule the verifier rejected.
+	// schedule the verifier rejected. Full re-placement always uses the
+	// greedy load-balanced placement: with every task in the batch the
+	// min-cost formulation degenerates and load balance dominates.
 	Full bool
 	// LoadThreshold is the load-balance slack used when choosing migration
 	// targets (same rule as Options.LoadThreshold); 0 means the partitioner's
 	// default of 0.10.
 	LoadThreshold float64
+	// Strategy selects the migration assignment (see AssignStrategy); the
+	// zero value is AssignAuto.
+	Strategy AssignStrategy
 }
 
 // RepairReport describes what one RepairSchedule call changed.
@@ -34,8 +71,11 @@ type RepairReport struct {
 	// to restore orderings that per-node program order no longer provides;
 	// RemovedArcs counts arcs the post-repair reduction eliminated.
 	AddedArcs, RemovedArcs int
-	// Full records whether this was a full re-placement.
-	Full bool
+	// Full records whether this was a full re-placement; Strategy names the
+	// migration assignment that produced the accepted placement ("mincost",
+	// "greedy", or "none" when no task moved).
+	Full     bool
+	Strategy string
 	// MovementBefore is the schedule's bytes x hops movement on the pristine
 	// mesh before repair; MovementAfter is the repaired schedule's movement
 	// on the degraded mesh. Their ratio is the degradation the fault sweep
@@ -90,10 +130,47 @@ func MovementOn(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet) (int64, error) {
 //     arcs, then the arc set is deduplicated and transitively reduced.
 //
 // It fails when no usable memory controller survives — such a mesh cannot
-// serve any schedule — leaving s partially modified; callers that need the
-// original afterwards should pass a Clone (RepairVerified does).
+// serve any schedule (the error wraps mesh.ErrPartitioned) — leaving s
+// partially modified; callers that need the original afterwards should pass
+// a Clone (RepairVerified does).
+//
+// With the default AssignAuto strategy the stranded-task placement is
+// solved twice on clones — once as a batched min-cost assignment, once with
+// the greedy ID-order baseline — and the schedule that moves less data is
+// committed, tie-breaking toward the batched result.
 func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions) (*RepairReport, error) {
-	rep := &RepairReport{Full: o.Full}
+	if o.Strategy == AssignAuto && !o.Full && !f.Empty() {
+		return repairBestOf(s, m, f, o)
+	}
+	return repairSchedule(s, m, f, o)
+}
+
+// repairBestOf runs the batched min-cost and the greedy repair on separate
+// clones and commits whichever produced less post-repair movement into s.
+// Ties go to the batched assignment, so the accepted repair is by
+// construction never worse than the greedy baseline.
+func repairBestOf(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions) (*RepairReport, error) {
+	oMC, oGr := o, o
+	oMC.Strategy, oGr.Strategy = AssignMinCost, AssignGreedy
+	cMC := s.Clone()
+	repMC, errMC := repairSchedule(cMC, m, f, oMC)
+	cGr := s.Clone()
+	repGr, errGr := repairSchedule(cGr, m, f, oGr)
+	switch {
+	case errMC == nil && (errGr != nil || repMC.MovementAfter <= repGr.MovementAfter):
+		*s = *cMC
+		return repMC, nil
+	case errGr == nil:
+		*s = *cGr
+		return repGr, nil
+	default:
+		return nil, errMC
+	}
+}
+
+// repairSchedule is the single-strategy repair pass behind RepairSchedule.
+func repairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions) (*RepairReport, error) {
+	rep := &RepairReport{Full: o.Full, Strategy: "none"}
 	before, err := MovementOn(s, m, nil)
 	if err != nil {
 		return nil, err
@@ -113,7 +190,7 @@ func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 	// The placement region: largest usable component around a usable MC.
 	region, regionMC := placementRegion(m, f, dist)
 	if regionMC == mesh.InvalidNode {
-		return nil, fmt.Errorf("core: repair impossible: no usable memory controller survives (%s)", f)
+		return nil, fmt.Errorf("core: repair impossible: no usable memory controller survives (%s): %w", f, mesh.ErrPartitioned)
 	}
 	candidates := make([]mesh.NodeID, 0, len(region))
 	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
@@ -168,60 +245,74 @@ func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 		}
 	}
 
-	// Seed the load tracker with the work that stays put, then place the
-	// migrating tasks in ID order onto the cheapest non-overloaded node.
+	// Collect the migrating batch in ID order. Each migrating root must
+	// reacquire its result line from the line's home (or DRAM when the home
+	// died); the store is no longer local. The per-(task, node) cost is the
+	// task's migration bytes x hops: every fetch travels from its (already
+	// re-homed) source plus the root's result reacquisition.
+	var migIdx []int
+	for i := range s.Tasks {
+		if migrate[i] {
+			migIdx = append(migIdx, i)
+		}
+	}
+	resultSrcs := make([]mesh.NodeID, len(migIdx))
+	for k, i := range migIdx {
+		t := s.Tasks[i]
+		resultSrcs[k] = mesh.InvalidNode
+		if t.IsRoot {
+			src := t.Node
+			if !region[src] {
+				src = nearestMC(src)
+			}
+			resultSrcs[k] = src
+		}
+	}
+	cost := func(k int, n mesh.NodeID) int64 {
+		t := s.Tasks[migIdx[k]]
+		var c int64
+		for _, fe := range t.Fetches {
+			c += int64(dist[fe.From][n])
+		}
+		if src := resultSrcs[k]; src != mesh.InvalidNode {
+			c += int64(dist[src][n])
+		}
+		return c
+	}
+
+	// Seed the load tracker with the work that stays put, then assign the
+	// batch: greedy ID order (each task on its cheapest non-overloaded node)
+	// or one batched min-cost flow over tasks x candidates.
 	lt := newLoadTracker(m.Nodes(), threshold)
 	for i, t := range s.Tasks {
 		if !migrate[i] {
 			lt.add(t.Node, t.Ops)
 		}
 	}
-	for i, t := range s.Tasks {
-		if !migrate[i] {
-			continue
+	var targets []mesh.NodeID
+	if len(migIdx) > 0 {
+		strategy := o.Strategy
+		if strategy != AssignMinCost || o.Full {
+			strategy = AssignGreedy
 		}
-		// A migrated root must reacquire its result line from the line's
-		// home (or DRAM when the home died); the store is no longer local.
-		resultSrc := mesh.InvalidNode
-		if t.IsRoot {
-			resultSrc = t.Node
-			if !region[resultSrc] {
-				resultSrc = nearestMC(resultSrc)
+		rep.Strategy = strategy.String()
+		if strategy == AssignMinCost {
+			targets, err = placeMinCost(candidates, len(migIdx), cost)
+			if err != nil {
+				return nil, err
 			}
+		} else {
+			targets = placeGreedy(lt, candidates, migIdx, s.Tasks, cost)
 		}
-		cost := func(n mesh.NodeID) int64 {
-			var c int64
-			for _, fe := range t.Fetches {
-				c += int64(dist[fe.From][n])
-			}
-			if resultSrc != mesh.InvalidNode {
-				c += int64(dist[resultSrc][n])
-			}
-			return c
-		}
-		best, bestCost := mesh.InvalidNode, int64(-1)
-		overloadedBest := mesh.InvalidNode
-		var overloadedCost int64 = -1
-		for _, n := range candidates {
-			c := cost(n)
-			if lt.wouldOverload(n, t.Ops) {
-				if overloadedBest == mesh.InvalidNode || c < overloadedCost {
-					overloadedBest, overloadedCost = n, c
-				}
-				continue
-			}
-			if best == mesh.InvalidNode || c < bestCost {
-				best, bestCost = n, c
-			}
-		}
-		if best == mesh.InvalidNode {
-			best = overloadedBest // every candidate overloaded: take the cheapest
-		}
+	}
+
+	for k, i := range migIdx {
+		t := s.Tasks[i]
+		best := targets[k]
 		if t.Node != best {
 			rep.Migrated++
 		}
 		t.Node = best
-		lt.add(best, t.Ops)
 		// The new node holds no warm copies: all reuse hits become fetches.
 		for fi := range t.Fetches {
 			fe := &t.Fetches[fi]
@@ -234,7 +325,8 @@ func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 		}
 		if t.IsRoot && !fetchesLine(t, t.ResultLine) {
 			t.Fetches = append(t.Fetches, Fetch{
-				From: resultSrc, Line: t.ResultLine, L2Miss: m.IsMemoryController(resultSrc) && resultSrc != t.Node,
+				From: resultSrcs[k], Line: t.ResultLine,
+				L2Miss: m.IsMemoryController(resultSrcs[k]) && resultSrcs[k] != t.Node,
 			})
 		}
 	}
@@ -262,6 +354,64 @@ func RepairSchedule(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 	}
 	rep.MovementAfter = after
 	return rep, nil
+}
+
+// placeGreedy is the PR 3 baseline placement: each migrating task, in ID
+// order, lands on its cheapest non-overloaded candidate; when every
+// candidate would overload, the cheapest of them takes the task anyway.
+func placeGreedy(lt *loadTracker, candidates []mesh.NodeID, migIdx []int, tasks []*Task, cost func(int, mesh.NodeID) int64) []mesh.NodeID {
+	targets := make([]mesh.NodeID, len(migIdx))
+	for k, i := range migIdx {
+		ops := tasks[i].Ops
+		best, bestCost := mesh.InvalidNode, int64(-1)
+		overloadedBest := mesh.InvalidNode
+		var overloadedCost int64 = -1
+		for _, n := range candidates {
+			c := cost(k, n)
+			if lt.wouldOverload(n, ops) {
+				if overloadedBest == mesh.InvalidNode || c < overloadedCost {
+					overloadedBest, overloadedCost = n, c
+				}
+				continue
+			}
+			if best == mesh.InvalidNode || c < bestCost {
+				best, bestCost = n, c
+			}
+		}
+		if best == mesh.InvalidNode {
+			best = overloadedBest // every candidate overloaded: take the cheapest
+		}
+		targets[k] = best
+		lt.add(best, ops)
+	}
+	return targets
+}
+
+// placeMinCost solves the whole migrating batch as one min-cost assignment
+// over tasks x candidate nodes. Load balance enters as a per-candidate slot
+// capacity of ceil(2S/C) (S stranded tasks over C candidates): twice the
+// even share, enough slack for cost to dominate while still bounding skew
+// the way the greedy overload rule does.
+func placeMinCost(candidates []mesh.NodeID, n int, cost func(int, mesh.NodeID) int64) ([]mesh.NodeID, error) {
+	per := (2*n + len(candidates) - 1) / len(candidates)
+	if per < 1 {
+		per = 1
+	}
+	caps := make([]int, len(candidates))
+	for j := range caps {
+		caps[j] = per
+	}
+	slots, _, err := assign.MinCost(n, caps, func(i, j int) int64 {
+		return cost(i, candidates[j])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: batched migration assignment: %w", err)
+	}
+	targets := make([]mesh.NodeID, n)
+	for i, j := range slots {
+		targets[i] = candidates[j]
+	}
+	return targets, nil
 }
 
 // placementRegion returns the usable-node membership set of the largest
@@ -383,16 +533,35 @@ func reemitDependenceArcs(s *Schedule, dist [][]int) int {
 // survives repair is proven dependence-sound, not just structurally valid.
 type RepairChecker func(*Schedule) error
 
+// RepairFailure records where the repair -> verify -> re-place escalation
+// ladder gave up. Stage is the deepest stage reached: "repair" (incremental
+// repair itself errored), "verify-reject" (the incremental repair was
+// rejected by the verifier), "re-place" (the full re-placement errored), or
+// "re-place-verify-reject" (even the re-placement was rejected). Unwrap
+// exposes the underlying cause, so errors.Is(err, mesh.ErrPartitioned)
+// still identifies hopeless meshes.
+type RepairFailure struct {
+	Stage string
+	Err   error
+}
+
+func (e *RepairFailure) Error() string {
+	return fmt.Sprintf("core: repair failed at stage %s: %v", e.Stage, e.Err)
+}
+
+func (e *RepairFailure) Unwrap() error { return e.Err }
+
 // RepairVerified is the gated degradation path: repair incrementally,
 // verify; on rejection escalate to a full re-placement, verify; only then
-// give up. The input schedule is never mutated — each attempt works on a
-// Clone — and the returned schedule is the accepted clone. A nil checker
-// degrades to structural validation only.
+// give up with a *RepairFailure naming the stage reached. The input
+// schedule is never mutated — each attempt works on a Clone — and the
+// returned schedule is the accepted clone. A nil checker degrades to
+// structural validation only.
 func RepairVerified(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *RepairReport, error) {
 	if check == nil {
 		check = func(c *Schedule) error { return ValidateScheduleOn(c, m, f) }
 	}
-	var firstErr error
+	var fail *RepairFailure
 	for _, full := range []bool{false, true} {
 		if o.Full && !full {
 			continue // caller already requested the full strategy
@@ -400,6 +569,10 @@ func RepairVerified(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 		attempt := o
 		attempt.Full = full
 		c := s.Clone()
+		stage := "repair"
+		if full {
+			stage = "re-place"
+		}
 		rep, err := RepairSchedule(c, m, f, attempt)
 		if err == nil {
 			if verr := ValidateScheduleOn(c, m, f); verr != nil {
@@ -409,10 +582,13 @@ func RepairVerified(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions
 			} else {
 				return c, rep, nil
 			}
+			if full {
+				stage = "re-place-verify-reject"
+			} else {
+				stage = "verify-reject"
+			}
 		}
-		if firstErr == nil {
-			firstErr = err
-		}
+		fail = &RepairFailure{Stage: stage, Err: err}
 	}
-	return nil, nil, fmt.Errorf("core: repair failed after full re-placement escalation: %w", firstErr)
+	return nil, nil, fail
 }

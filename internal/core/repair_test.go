@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -94,6 +95,9 @@ func TestRepairImpossibleWhenAllMCsDead(t *testing.T) {
 		if !strings.Contains(err.Error(), "no usable memory controller") {
 			t.Errorf("dead MC %s: error %q lacks diagnosis", kill, err)
 		}
+		if !errors.Is(err, mesh.ErrPartitioned) {
+			t.Errorf("dead MC %s: error %v does not wrap mesh.ErrPartitioned", kill, err)
+		}
 		if _, _, err := RepairVerified(s, opts.Mesh, f, RepairOptions{}, nil); err == nil {
 			t.Fatalf("dead MC %s: RepairVerified succeeded, want error", kill)
 		}
@@ -172,6 +176,36 @@ func TestRepairNoFaultsIsNoop(t *testing.T) {
 	}
 	if rep.MovementBefore != before || rep.MovementAfter != before {
 		t.Errorf("movement %d/%d, want %d unchanged", rep.MovementBefore, rep.MovementAfter, before)
+	}
+}
+
+// TestRepairedCloneSyncArcsNotAliased mutates the sync arcs of a repaired
+// clone and requires the original's arcs to survive untouched: repair and
+// escalation retries depend on Clone being deep for WaitFor and WaitHops.
+func TestRepairedCloneSyncArcsNotAliased(t *testing.T) {
+	s, opts := partitioned(t)
+	m := opts.Mesh
+	f := mesh.Inject(m, 3, 3, 0, 1, true)
+	repaired, _, err := RepairVerified(s, m, f, RepairOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for i, tk := range repaired.Tasks {
+		o := s.Tasks[i]
+		if len(tk.WaitFor) == 0 || len(o.WaitFor) == 0 {
+			continue
+		}
+		was, hops := o.WaitFor[0], o.WaitHops[0]
+		tk.WaitFor[0] = -77
+		tk.WaitHops[0] = -77
+		if o.WaitFor[0] != was || o.WaitHops[0] != hops {
+			t.Fatalf("task %d sync arcs aliased between repaired clone and original", i)
+		}
+		mutated = true
+	}
+	if !mutated {
+		t.Skip("no task carries a sync arc")
 	}
 }
 

@@ -76,10 +76,17 @@ func (c FaultSweepConfig) withDefaults() FaultSweepConfig {
 type FaultSweepResult struct {
 	// Levels echoes the swept ladder; MovementRatio[k] is the mean
 	// repaired-movement / pristine-movement over all schedules at level k,
-	// and CycleRatio[k] the same for simulated cycles.
+	// and CycleRatio[k] the same for simulated cycles. RatioP95 and RatioMax
+	// are the p95 and maximum movement ratio at each level, so regressions
+	// in the tail are visible next to the mean.
 	Levels        []FaultLevel
 	MovementRatio []float64
 	CycleRatio    []float64
+	RatioP95      []float64
+	RatioMax      []float64
+	// WorstApps lists each workload with its worst (maximum) movement ratio
+	// over every level/series it contributed to, in suite order.
+	WorstApps []AppWorstCase
 	// Repaired counts schedules that survived repair + verification;
 	// Migrated and AddedArcs sum the repair work across them; FullRepairs
 	// counts repairs that needed the full re-placement escalation.
@@ -96,6 +103,14 @@ type FaultSweepResult struct {
 	// more than the tolerance below its predecessor's — degradation should
 	// grow (approximately) with fault count since levels are nested.
 	NonMonotonic []string
+}
+
+// AppWorstCase is one workload's worst repaired-movement ratio across a
+// sweep, with the level where it occurred.
+type AppWorstCase struct {
+	App   string
+	Ratio float64
+	Level FaultLevel
 }
 
 // monotonicTolerance is how far a level's mean movement ratio may fall below
@@ -231,15 +246,33 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		}
 	})
 
+	perLevel := make([][]float64, len(cfg.Levels))
+	worst := make(map[string]*AppWorstCase)
+	var appOrder []string
 	for si := range results {
 		out := &results[si]
 		if out.err != nil {
 			return nil, out.err
 		}
+		name := sweep[si].app.Name
+		w, ok := worst[name]
+		if !ok {
+			w = &AppWorstCase{App: name}
+			worst[name] = w
+			appOrder = append(appOrder, name)
+		}
 		for li := range cfg.Levels {
 			sums[li] += out.sums[li]
 			csums[li] += out.csums[li]
 			counts[li] += out.counts[li]
+			// Each series contributes at most one schedule per level, so its
+			// level sum is that schedule's ratio.
+			if out.counts[li] == 1 {
+				perLevel[li] = append(perLevel[li], out.sums[li])
+				if out.sums[li] > w.Ratio {
+					w.Ratio, w.Level = out.sums[li], cfg.Levels[li]
+				}
+			}
 		}
 		res.Repaired += out.repaired
 		res.Migrated += out.migrated
@@ -247,14 +280,21 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		res.FullRepairs += out.fullRepairs
 		res.Violations = append(res.Violations, out.violations...)
 	}
+	for _, name := range appOrder {
+		res.WorstApps = append(res.WorstApps, *worst[name])
+	}
 
 	res.MovementRatio = make([]float64, len(cfg.Levels))
 	res.CycleRatio = make([]float64, len(cfg.Levels))
+	res.RatioP95 = make([]float64, len(cfg.Levels))
+	res.RatioMax = make([]float64, len(cfg.Levels))
 	for i := range cfg.Levels {
 		if counts[i] > 0 {
 			res.MovementRatio[i] = sums[i] / float64(counts[i])
 			res.CycleRatio[i] = csums[i] / float64(counts[i])
 		}
+		res.RatioP95[i] = stats.Percentile(perLevel[i], 95)
+		res.RatioMax[i] = stats.Max(perLevel[i])
 	}
 	for i := 1; i < len(res.MovementRatio); i++ {
 		if counts[i] == 0 || counts[i-1] == 0 {
@@ -285,13 +325,17 @@ func (r *Runner) FaultSweep() (*Experiment, error) {
 		ID:         "faultsweep",
 		Title:      "Fault injection: degraded-mesh repair gated by the race detector",
 		PaperClaim: "repaired schedules stay dependence-sound; movement degrades with fault count (robustness extension, not in the paper)",
-		Table:      &stats.Table{Header: []string{"Fault level", "Movement ratio", "Cycle ratio"}},
+		Table:      &stats.Table{Header: []string{"Fault level", "Movement mean/p95/max", "Cycle ratio"}},
 		Headline: map[string]float64{
 			"violations": float64(len(res.Violations) + len(res.NonMonotonic)),
 		},
 	}
 	for i, lvl := range res.Levels {
-		e.Table.Add(lvl.String(), fmt.Sprintf("%.4f  %.4f", res.MovementRatio[i], res.CycleRatio[i]))
+		e.Table.Add(lvl.String(), fmt.Sprintf("%.4f  %.4f  %.4f", res.MovementRatio[i], res.RatioP95[i], res.RatioMax[i]),
+			fmt.Sprintf("%.4f", res.CycleRatio[i]))
+	}
+	for _, w := range res.WorstApps {
+		e.Table.Add("worst "+w.App, fmt.Sprintf("%.4f @ %s", w.Ratio, w.Level))
 	}
 	e.Table.Add("schedules repaired+verified", res.Repaired)
 	e.Table.Add("tasks migrated", res.Migrated)

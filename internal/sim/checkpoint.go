@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sort"
+
+	"dmacp/internal/core"
+	"dmacp/internal/mesh"
+)
+
+// FaultEvent is one seeded mid-run fault arrival: Faults strikes the until
+// then pristine mesh when the simulated clock reaches Cycle.
+type FaultEvent struct {
+	Cycle  float64
+	Faults *mesh.FaultSet
+}
+
+// buildCheckpoint snapshots the execution state at the arrival cycle.
+//
+// Completion is instance-granular: a statement instance counts as done only
+// when its root task — the store of the instance's result — finished by the
+// arrival cycle. Every task of an instance is a WaitFor-ancestor of its
+// root, so a finished root implies the whole instance finished; conversely a
+// partially executed instance holds only unnamed partial results (no line
+// identity), so its in-flight tasks are discarded and the instance re-runs
+// in the residual schedule.
+//
+// Residency is replayed over the completed tasks exactly the way the
+// verifier's coherence model does: any real access leaves a live copy of
+// the line in the consuming node's L1, and a root store write-invalidates
+// every remote copy, leaving the writer's node as the line's sole home.
+func buildCheckpoint(sched *core.Schedule, nodes int, startAt, occEndAt, finish []float64, cycle float64) *core.Checkpoint {
+	ck := &core.Checkpoint{
+		Cycle:    cycle,
+		Done:     make([]bool, len(sched.Tasks)),
+		NodeFree: make([]float64, nodes),
+	}
+	type instKey struct{ iter, stmt int }
+	doneInst := make(map[instKey]bool)
+	for _, t := range sched.Tasks {
+		if t.IsRoot && finish[t.ID] <= cycle {
+			doneInst[instKey{t.Iter, t.Stmt}] = true
+		}
+	}
+	for i, t := range sched.Tasks {
+		if doneInst[instKey{t.Iter, t.Stmt}] {
+			ck.Done[i] = true
+			if e := occEndAt[i]; e > ck.NodeFree[t.Node] {
+				ck.NodeFree[t.Node] = e
+			}
+		} else if startAt[i] < cycle {
+			ck.InFlight = append(ck.InFlight, i)
+		}
+	}
+
+	// Residency replay with write-invalidation, completed tasks in ID order.
+	copies := make(map[uint64]map[mesh.NodeID]bool)
+	ck.Home = make(map[uint64]mesh.NodeID)
+	for i, t := range sched.Tasks {
+		if !ck.Done[i] {
+			continue
+		}
+		for _, f := range t.Fetches {
+			if copies[f.Line] == nil {
+				copies[f.Line] = make(map[mesh.NodeID]bool)
+			}
+			copies[f.Line][t.Node] = true
+		}
+		if t.IsRoot {
+			copies[t.ResultLine] = map[mesh.NodeID]bool{t.Node: true}
+			ck.Home[t.ResultLine] = t.Node
+		}
+	}
+	ck.L1Resident = make(map[mesh.NodeID][]uint64, nodes)
+	for line, ns := range copies {
+		// Scatter into per-node slices; each slice is sorted below, so the
+		// final checkpoint content is independent of this iteration order.
+		//lint:dmacp-allow maporder per-node slices are sorted before use
+		for n := range ns {
+			ck.L1Resident[n] = append(ck.L1Resident[n], line)
+		}
+	}
+	for n := mesh.NodeID(0); int(n) < nodes; n++ {
+		lines := ck.L1Resident[n]
+		sort.Slice(lines, func(a, b int) bool { return lines[a] < lines[b] })
+	}
+	return ck
+}

@@ -104,6 +104,20 @@ type Config struct {
 	// is rejected with an error — run core.RepairSchedule first.
 	Faults *mesh.FaultSet
 
+	// FaultEvents is the mid-run fault-arrival timeline: each event's fault
+	// set strikes when the simulated clock reaches its cycle. The run itself
+	// executes fault-free — an arrival interrupts the machine, it does not
+	// re-time the past — and Result.Checkpoints carries one snapshot per
+	// event (completed/in-flight frontiers, per-node busy horizons, live
+	// L1/result-line residency at the arrival cycle) for core.RepairOnline
+	// to re-repair the residual schedule against the degraded mesh.
+	FaultEvents []FaultEvent
+
+	// NodeFreeAt, when non-nil, seeds the per-node busy horizons (indexed by
+	// node ID) so a residual schedule resumes where a checkpoint's completed
+	// work left the nodes instead of at cycle zero.
+	NodeFreeAt []float64
+
 	// The following knobs exist for the metric-isolation study of Figure 18
 	// (enforcing one optimized metric on the default execution, as the
 	// paper does in simulation).
@@ -188,6 +202,9 @@ type Result struct {
 	SyncStall float64
 	// Energy is the modeled energy breakdown.
 	Energy Energy
+	// Checkpoints holds one execution snapshot per Config.FaultEvents entry,
+	// in the same order, taken at each event's arrival cycle.
+	Checkpoints []*core.Checkpoint
 }
 
 // L1HitRate returns the simulated L1 hit rate.
@@ -218,6 +235,18 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 	tr := mesh.NewTraffic(cfg.Mesh)
 	finish := make([]float64, len(sched.Tasks))
 	nodeFree := make([]float64, cfg.Mesh.Nodes())
+	for i, v := range cfg.NodeFreeAt {
+		if i < len(nodeFree) {
+			nodeFree[i] = v
+		}
+	}
+	// Mid-run fault arrivals need per-task start/occupancy timestamps to cut
+	// the completed/in-flight frontier at each arrival cycle.
+	var startAt, occEndAt []float64
+	if len(cfg.FaultEvents) > 0 {
+		startAt = make([]float64, len(sched.Tasks))
+		occEndAt = make([]float64, len(sched.Tasks))
+	}
 	mcFree := make(map[int]float64)
 	// mcKey identifies the serializing memory resource of a miss: the MC, or
 	// the (MC, bank) pair under bank-aware queueing.
@@ -425,6 +454,10 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 		}
 		end := fetchDone + compute
 		finish[t.ID] = end
+		if startAt != nil {
+			startAt[t.ID] = start
+			occEndAt[t.ID] = start + occupancy
+		}
 		res.BusyCycles += occupancy
 		res.Energy.Compute += t.Ops * energyPerOp
 		if end > res.Cycles {
@@ -434,6 +467,10 @@ func Run(sched *core.Schedule, cfg Config) (*Result, error) {
 
 	if routeErr != nil {
 		return nil, fmt.Errorf("sim: %w", routeErr)
+	}
+	for _, ev := range cfg.FaultEvents {
+		res.Checkpoints = append(res.Checkpoints,
+			buildCheckpoint(sched, cfg.Mesh.Nodes(), startAt, occEndAt, finish, ev.Cycle))
 	}
 	if n := res.Transfers; n > 0 && !cfg.IdealNetwork {
 		res.AvgNetLatency /= float64(n)

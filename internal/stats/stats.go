@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -38,6 +39,25 @@ func Geomean(xs []float64) float64 {
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs by the
+// nearest-rank method over a sorted copy; the input is not modified. Empty
+// input returns 0, p=100 returns the maximum.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	r := int(math.Ceil(p / 100 * float64(len(s))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(s) {
+		r = len(s)
+	}
+	return s[r-1]
 }
 
 // Max returns the maximum of xs (0 for empty input).

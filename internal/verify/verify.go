@@ -69,6 +69,14 @@ type Input struct {
 
 	// Labels optionally names lines ("B[24]") in diagnostics.
 	Labels map[uint64]string
+
+	// Completed, when set, marks statement instances that finished before a
+	// mid-run fault checkpoint: the instance-level completeness checks skip
+	// them, since their accesses are deliberately absent from the residual
+	// schedule under test. Races among the residual tasks are still checked
+	// in full — completed work is ordered by time, before everything
+	// residual, so no cross-checkpoint pair can race.
+	Completed func(iter, stmt int) bool
 }
 
 // Options tunes a Check run. The zero value means defaults.
@@ -330,6 +338,9 @@ func checkInstances(in Input, o Options, rep *Report) {
 		si := k % m
 		if si == 0 {
 			env = in.Nest.IterationEnv(iter)
+		}
+		if in.Completed != nil && in.Completed(iter, si) {
+			continue // finished before the checkpoint; not in the residual
 		}
 		stmt := body[si]
 		key := instKey{iter, si}

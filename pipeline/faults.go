@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -164,7 +165,7 @@ func RunFaults(k Kernel, cfg Config, spec FaultSpec) (*FaultReport, error) {
 		LoadThreshold: opts.LoadThreshold,
 	}, checker)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: fault set %s is unrepairable for %q: %w", f, nest.Name, err)
+		return nil, unrepairableError(nest.Name, spec, f, err)
 	}
 
 	faultCfg := simCfg
@@ -194,6 +195,181 @@ func RunFaults(k Kernel, cfg Config, spec FaultSpec) (*FaultReport, error) {
 		out.DeadNodes = append(out.DeadNodes, int(n))
 	}
 	return out, nil
+}
+
+// unrepairableError builds the failure diagnostic for a fault set the
+// escalation ladder gave up on: the injection seed, the dead-element list,
+// and the stage (repair / verify-reject / re-place / re-place-verify-reject)
+// that failed.
+func unrepairableError(kernel string, spec FaultSpec, f *mesh.FaultSet, err error) error {
+	stage := "repair"
+	var rf *core.RepairFailure
+	if errors.As(err, &rf) {
+		stage = rf.Stage
+	}
+	return fmt.Errorf("pipeline: fault set (seed %d) %s is unrepairable for %q: failed at stage %s: %w",
+		spec.Seed, f, kernel, stage, err)
+}
+
+// OnlineFaultReport is the outcome of RunFaultsOnline: the checkpoint cut,
+// the migration bill, and the accepted residual repair compared against
+// re-partitioning from scratch.
+type OnlineFaultReport struct {
+	Kernel string
+	Faults string
+	// ArrivalCycle is when the fault struck (ArrivalFrac x pristine makespan).
+	ArrivalCycle float64
+	// Checkpoint split and discarded in-flight work.
+	CompletedTasks, ResidualTasks, InFlightTasks int
+	// Migration accounting: live state moved off dead/cut-off nodes.
+	SpilledL1Lines, RehomedPages int
+	MigrationTraffic             int64
+	// Residual DAG surgery counters.
+	DroppedArcs, ConvertedFetches int
+	// Accepted repair: tasks migrated, the assignment that won
+	// ("mincost"/"greedy"/"none"), and whether escalation re-placed fully.
+	Migrated        int
+	Strategy        string
+	FullRepartition bool
+	// BaseMovement is the pristine full-schedule movement; ResidualMovement
+	// the repaired residual's movement on the degraded mesh; ScratchMovement
+	// what re-partitioning the whole schedule from scratch would move.
+	BaseMovement, ResidualMovement, ScratchMovement int64
+	// BaseCycles is the pristine makespan; ResumeCycles the residual's
+	// simulated finish when resumed from the checkpointed node horizons on
+	// the degraded mesh.
+	BaseCycles, ResumeCycles float64
+	VerifySummary            string
+}
+
+// OnlineTotal is the re-repair path's total bill: migration plus residual
+// movement.
+func (r *OnlineFaultReport) OnlineTotal() int64 {
+	return r.MigrationTraffic + r.ResidualMovement
+}
+
+// String summarizes the report.
+func (r *OnlineFaultReport) String() string {
+	return fmt.Sprintf("%s: %s at cycle %.0f; %d done / %d residual tasks, migration %d, residual movement %d (scratch %d)",
+		r.Kernel, r.Faults, r.ArrivalCycle, r.CompletedTasks, r.ResidualTasks,
+		r.MigrationTraffic, r.ResidualMovement, r.ScratchMovement)
+}
+
+// RunFaultsOnline is the mid-run arrival variant of RunFaults: the fault set
+// strikes at arrivalFrac x the pristine makespan. The pristine run is
+// checkpointed at the arrival cycle, the residual schedule (pending plus
+// stranded in-flight tasks) is re-repaired through the verifier-gated ladder
+// with batched min-cost migration, migration traffic is charged for the live
+// state on dead nodes, and the accepted residual is re-simulated on the
+// degraded mesh resuming from the checkpointed node horizons. The report
+// also carries the re-partition-from-scratch movement for comparison.
+func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) (*OnlineFaultReport, error) {
+	if arrivalFrac <= 0 || arrivalFrac >= 1 {
+		return nil, fmt.Errorf("pipeline: arrival fraction %v outside (0, 1)", arrivalFrac)
+	}
+	prog, nest, store, opts, simCfg, err := build(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := spec.Build(opts.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	if f.Empty() {
+		return nil, fmt.Errorf("pipeline: online mode needs a non-empty fault set (use -links/-tiles/-kill-*)")
+	}
+	opt, err := core.Partition(prog, nest, store, opts)
+	if err != nil {
+		return nil, err
+	}
+	baseSim, err := sim.Run(opt.Schedule, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	pristine, err := core.MovementOn(opt.Schedule, opts.Mesh, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	evCfg := simCfg
+	evCfg.FaultEvents = []sim.FaultEvent{{Cycle: arrivalFrac * baseSim.Cycles, Faults: f}}
+	evSim, err := sim.Run(opt.Schedule, evCfg)
+	if err != nil {
+		return nil, err
+	}
+	ck := evSim.Checkpoints[0]
+
+	var verifySummary string
+	completed := ck.CompletedInstances(opt.Schedule)
+	checker := func(s *core.Schedule) error {
+		rep, err := verify.Check(verify.Input{
+			Prog: prog, Nest: nest, Store: store,
+			Schedule: s, Mesh: opts.Mesh, Faults: f,
+			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
+			Completed: completed,
+		}, verify.Options{})
+		if err != nil {
+			return err
+		}
+		verifySummary = rep.Summary()
+		return rep.Err()
+	}
+	residual, orep, err := core.RepairOnline(opt.Schedule, ck, opts.Mesh, f, core.RepairOptions{
+		LoadThreshold: opts.LoadThreshold,
+	}, checker)
+	if err != nil {
+		return nil, unrepairableError(nest.Name, spec, f, err)
+	}
+
+	// Scratch baseline: throw the checkpoint away and re-place everything.
+	fullChecker := func(s *core.Schedule) error {
+		rep, err := verify.Check(verify.Input{
+			Prog: prog, Nest: nest, Store: store,
+			Schedule: s, Mesh: opts.Mesh, Faults: f,
+			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
+		}, verify.Options{})
+		if err != nil {
+			return err
+		}
+		return rep.Err()
+	}
+	_, srep, err := core.RepairVerified(opt.Schedule, opts.Mesh, f, core.RepairOptions{
+		LoadThreshold: opts.LoadThreshold, Full: true,
+	}, fullChecker)
+	if err != nil {
+		return nil, unrepairableError(nest.Name+" (scratch baseline)", spec, f, err)
+	}
+
+	resCfg := simCfg
+	resCfg.Faults = f
+	resCfg.NodeFreeAt = ck.NodeFree
+	resumeSim, err := sim.Run(residual, resCfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: degraded simulation rejected the accepted residual: %w", err)
+	}
+
+	return &OnlineFaultReport{
+		Kernel:           nest.Name,
+		Faults:           f.String(),
+		ArrivalCycle:     evCfg.FaultEvents[0].Cycle,
+		CompletedTasks:   orep.CompletedTasks,
+		ResidualTasks:    orep.ResidualTasks,
+		InFlightTasks:    orep.InFlightTasks,
+		SpilledL1Lines:   orep.SpilledL1Lines,
+		RehomedPages:     orep.RehomedPages,
+		MigrationTraffic: orep.MigrationTraffic,
+		DroppedArcs:      orep.DroppedArcs,
+		ConvertedFetches: orep.ConvertedFetches,
+		Migrated:         orep.Repair.Migrated,
+		Strategy:         orep.Repair.Strategy,
+		FullRepartition:  orep.Repair.Full,
+		BaseMovement:     pristine,
+		ResidualMovement: orep.Repair.MovementAfter,
+		ScratchMovement:  srep.MovementAfter,
+		BaseCycles:       baseSim.Cycles,
+		ResumeCycles:     resumeSim.Cycles,
+		VerifySummary:    verifySummary,
+	}, nil
 }
 
 // WorkloadNames lists the 12 shipped applications, for `dmacp verify -app`.
