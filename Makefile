@@ -11,7 +11,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 # cannot be obtained, instead of degrading to a notice in offline sandboxes.
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep onlinesweep bench-closure bench bench-json check
+.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep onlinesweep churnsweep bench-closure bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ vet:
 	$(GO) vet ./...
 
 # The project linter: cmd/dmacplint runs the internal/analysis suite
-# (maporder, parownership, seeddiscipline, bytehops) over the whole module.
+# (maporder, parownership, seeddiscipline, bytehops, ctxdiscipline) over the whole module.
 # Stdlib-only, so it works offline; findings are build failures.
 lint: build
 	$(GO) run ./cmd/dmacplint ./...
@@ -84,6 +84,13 @@ faultsweep:
 onlinesweep:
 	$(GO) test ./internal/exp/ -run TestOnlineSweepGate -count=1
 
+# Fault-churn resilience gate over all 12 workloads: recovery events deliver
+# verifier-clean re-integration (accepted only when the movement accounting
+# wins), kill/revive churn loops prove the no-thrash bound, and deadline
+# probes prove anytime repair returns a verifier-clean incumbent.
+churnsweep:
+	$(GO) test ./internal/exp/ -run TestChurnSweepGate -count=1
+
 # Closure construction/query microbenchmarks, interval index vs the bitset
 # reference (numbers recorded in EXPERIMENTS.md).
 bench-closure:
@@ -94,9 +101,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Benchmark-trajectory harness: micro hot-path costs + serial-vs-parallel
-# suite timings + table byte-identity check, recorded to BENCH_7.json.
+# suite timings + table byte-identity check, recorded to BENCH_8.json.
 bench-json: build
-	$(GO) run ./cmd/dmacp bench -o BENCH_7.json
+	$(GO) run ./cmd/dmacp bench -o BENCH_8.json
 
-check: build vet lint staticcheck test race verifybig faultsweep onlinesweep bench-json
+check: build vet lint staticcheck test race verifybig faultsweep onlinesweep churnsweep bench-json
 	@echo "check: all gates passed"

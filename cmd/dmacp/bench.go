@@ -4,10 +4,11 @@ package main
 // hot-path micro costs (distance lookups, partitioning, simulation) with
 // testing.Benchmark, times the experiment suite serial (-j 1) versus parallel
 // (-j N), asserts the two runs produce byte-identical tables, and writes the
-// whole record to a JSON file (BENCH_7.json by default) so successive PRs can
+// whole record to a JSON file (BENCH_8.json by default) so successive PRs can
 // track the performance trajectory.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,7 +42,7 @@ type benchGroup struct {
 	Headline        map[string]float64 `json:"headline,omitempty"`
 }
 
-// benchReport is the BENCH_7.json schema.
+// benchReport is the BENCH_8.json schema.
 type benchReport struct {
 	Schema       string       `json:"schema"`
 	NumCPU       int          `json:"num_cpu"`
@@ -82,6 +83,7 @@ var benchSuiteIDs = [][]string{
 	{"verifydiff"},
 	{"faultsweep"},
 	{"onlinesweep"},
+	{"churnsweep"},
 }
 
 func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
@@ -94,7 +96,7 @@ func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
 		"fig17": r.Fig17, "fig18": r.Fig18, "fig19": r.Fig19, "fig20": r.Fig20,
 		"fig21": r.Fig21, "fig22": r.Fig22, "fig23": r.Fig23, "fig24": r.Fig24,
 		"ablations": r.Ablations, "verifydiff": r.VerifyDiff, "faultsweep": r.FaultSweep,
-		"onlinesweep": r.OnlineSweep,
+		"onlinesweep": r.OnlineSweep, "churnsweep": r.ChurnSweep,
 	}
 	out := &suiteRun{
 		tables:   map[string]string{},
@@ -148,7 +150,7 @@ func identicalRuns(a, b *suiteRun) bool {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("dmacp bench", flag.ExitOnError)
 	var (
-		out   = fs.String("o", "BENCH_7.json", "output JSON path (\"-\" for stdout)")
+		out   = fs.String("o", "BENCH_8.json", "output JSON path (\"-\" for stdout)")
 		iters = fs.Int("iters", 48, "workload base iterations for the suite timing")
 		elems = fs.Int("elems", 1<<13, "workload array length for the suite timing")
 		jobs  = fs.Int("j", 0, "parallel worker count to compare against serial (<= 0 = one per CPU)")
@@ -245,6 +247,28 @@ func runBench(args []string) {
 	rep.Micro = append(rep.Micro, microBench("core/RepairOnline", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.RepairOnline(part.Schedule, ck, m, faults, core.RepairOptions{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Re-integration timing: repair once under the fault set, revive every
+	// dead element, then measure the hysteresis decision round (pricing +
+	// accounting + verifier gate) on its own.
+	residual, _, err := core.RepairOnline(part.Schedule, ck, m, faults, core.RepairOptions{}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmacp bench:", err)
+		os.Exit(1)
+	}
+	cleared := faults.Clone()
+	cleared.Revive(faults.RecoveryAll())
+	revived := mesh.RevivedNodes(m, faults, cleared)
+	rep.Micro = append(rep.Micro, microBench("core/ReintegrateOnline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			churn := core.NewChurnState()
+			churn.Observe(m, faults)
+			churn.Observe(m, cleared)
+			if _, _, err := core.ReintegrateOnline(context.Background(), residual, nil, m, cleared, revived, core.RepairOptions{}, churn, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

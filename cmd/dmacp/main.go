@@ -50,6 +50,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -158,6 +159,18 @@ func runVerify(args []string) {
 	}
 }
 
+// faultsExit reports a faults-path failure and exits with the documented
+// code: 2 for invalid input (bad specs, flags, out-of-range fractions), 1
+// for a fault set the repair ladder gave up on.
+func faultsExit(err error) {
+	if errors.Is(err, pipeline.ErrBadInput) {
+		fmt.Fprintln(os.Stderr, "dmacp faults: INVALID INPUT:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "dmacp faults: UNREPAIRABLE:", err)
+	os.Exit(1)
+}
+
 // runFaults is the `dmacp faults` subcommand: inject faults, repair the
 // optimized schedule through the verifier-gated path, report the degradation.
 func runFaults(args []string) {
@@ -184,7 +197,20 @@ func runFaults(args []string) {
 		jobs      = fs.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
 		online    = fs.Bool("online", false, "mid-run arrival: the fault strikes at -at x the pristine makespan; checkpoint and re-repair only the residual schedule")
 		at        = fs.Float64("at", 0.5, "arrival point as a fraction of the pristine makespan (with -online)")
+		timeout   = fs.Duration("timeout", 0, "deadline for the anytime repair ladder (0 = run to completion); on expiry the best verifier-clean schedule found so far is returned")
 	)
+	defaultUsage := fs.Usage
+	fs.Usage = func() {
+		defaultUsage()
+		fmt.Fprint(fs.Output(), `
+Exit codes:
+  0  repaired and verified
+  1  the fault set is unrepairable (or the -timeout deadline expired with no
+     verifier-clean schedule found)
+  2  invalid input: malformed -kill-* specs, node ids outside the mesh,
+     -at outside (0, 1), or bad flags
+`)
+	}
 	fs.Parse(args)
 
 	k := pipeline.Kernel{
@@ -200,6 +226,7 @@ func runFaults(args []string) {
 	cfg.FixedWindow = *window
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
 	cfg.Jobs = *jobs
+	cfg.Timeout = *timeout
 	spec := pipeline.FaultSpec{
 		Links: *links, Routers: *routers, Tiles: *tiles,
 		Seed: *fseed, ProtectMCs: *protect,
@@ -209,8 +236,7 @@ func runFaults(args []string) {
 	if *online {
 		rep, err := pipeline.RunFaultsOnline(k, cfg, spec, *at)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmacp faults: UNREPAIRABLE:", err)
-			os.Exit(1)
+			faultsExit(err)
 		}
 		fmt.Println("== online fault arrival & checkpointed re-repair ==")
 		fmt.Printf("platform:           %dx%d mesh, %s cluster mode\n", *cols, *rows, *cluster)
@@ -237,8 +263,7 @@ func runFaults(args []string) {
 
 	rep, err := pipeline.RunFaults(k, cfg, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dmacp faults: UNREPAIRABLE:", err)
-		os.Exit(1)
+		faultsExit(err)
 	}
 
 	fmt.Println("== fault injection & schedule repair ==")

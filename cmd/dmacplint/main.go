@@ -4,7 +4,7 @@
 // (and therefore `make check`) and runs in CI; a non-empty finding list is a
 // build failure.
 //
-// The four analyzers:
+// The five analyzers:
 //
 //	maporder       no order-sensitive map iteration on the schedule-emission
 //	               path (byte-identical schedules at any -j)
@@ -13,6 +13,8 @@
 //	seeddiscipline no global math/rand or wall-clock seeds outside tests
 //	               (every stochastic harness replays from its recorded seed)
 //	bytehops       unit consistency of bytes, hops and bytes×hops movement
+//	ctxdiscipline  context.Context is always the first parameter and never
+//	               a struct field (deadlines cannot outlive their call)
 //
 // Usage:
 //

@@ -12,7 +12,10 @@
 //   - every stochastic harness must draw from an explicitly seeded generator,
 //     never the global math/rand source or a wall-clock seed (seeddiscipline);
 //   - bytes, hops, and the bytes×hops movement objective are distinct units
-//     that must not be mixed additively or multiplied twice (bytehops).
+//     that must not be mixed additively or multiplied twice (bytehops);
+//   - a context.Context is always the first parameter and is never stored in
+//     a struct field, so a repair deadline cannot outlive its call
+//     (ctxdiscipline).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic, testdata fixtures with `// want` expectations) but is built
@@ -104,7 +107,7 @@ func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...a
 
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, ParOwnership, SeedDiscipline, ByteHops}
+	return []*Analyzer{MapOrder, ParOwnership, SeedDiscipline, ByteHops, CtxDiscipline}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" means all).

@@ -70,6 +70,7 @@ func TestMapOrderFixture(t *testing.T)       { runFixture(t, MapOrder, "maporder
 func TestParOwnershipFixture(t *testing.T)   { runFixture(t, ParOwnership, "parownership") }
 func TestSeedDisciplineFixture(t *testing.T) { runFixture(t, SeedDiscipline, "seeddiscipline") }
 func TestByteHopsFixture(t *testing.T)       { runFixture(t, ByteHops, "bytehops") }
+func TestCtxDisciplineFixture(t *testing.T)  { runFixture(t, CtxDiscipline, "ctxdiscipline") }
 
 // TestMapOrderSuggestedFix pins the mechanical sorted-keys rewrite: the
 // flagged range in the maporder fixture must carry a replacement sketch that
@@ -142,8 +143,8 @@ func TestTreeIsLintClean(t *testing.T) {
 // TestByName covers analyzer selection parsing for cmd/dmacplint.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := ByName("maporder, bytehops")
 	if err != nil || len(two) != 2 || two[0] != MapOrder || two[1] != ByteHops {

@@ -1,0 +1,77 @@
+// Package ctxdiscipline is the fixture for the ctxdiscipline analyzer: a
+// context.Context is passed as the first parameter and never stored.
+package ctxdiscipline
+
+import "context"
+
+// Not flagged: the canonical shape — context first, then everything else.
+func repair(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Not flagged: no context at all.
+func pure(n int) int { return n * 2 }
+
+// Not flagged: a method's receiver does not count; context is still the
+// first parameter.
+type ladder struct{ stage int }
+
+func (l *ladder) step(ctx context.Context, budget int) error {
+	return ctx.Err()
+}
+
+// Flagged: context buried in the middle of the parameter list.
+func buried(n int, ctx context.Context) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+// Flagged: grouped parameters push the context to flat position 2.
+func grouped(a, b int, ctx context.Context, c int) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+// Flagged: function literals obey the same rule.
+var hook = func(label string, ctx context.Context) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+// Flagged: a stored context outlives the call it was scoped to.
+type job struct {
+	ctx  context.Context // want "must not be stored in a struct field"
+	name string
+}
+
+// Not flagged: a func-typed field is a signature, not a stored context.
+type callbacks struct {
+	run func(ctx context.Context) error
+}
+
+// Not flagged: a deliberate exception carries an allow directive.
+type fake struct {
+	//lint:dmacp-allow ctxdiscipline test fake pins a context by design
+	ctx context.Context
+}
+
+func use(ctx context.Context) error {
+	j := job{ctx: ctx, name: "x"}
+	f := fake{ctx: ctx}
+	c := callbacks{run: repair0}
+	if err := hook("h", j.ctx); err != nil {
+		return err
+	}
+	if err := buried(1, f.ctx); err != nil {
+		return err
+	}
+	if err := grouped(1, 2, ctx, 3); err != nil {
+		return err
+	}
+	l := &ladder{}
+	if err := l.step(ctx, 1); err != nil {
+		return err
+	}
+	return c.run(ctx)
+}
+
+func repair0(ctx context.Context) error { return repair(ctx, 0) }
+
+var _ = pure(1)

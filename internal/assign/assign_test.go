@@ -147,3 +147,87 @@ func TestMinCostEdgeCases(t *testing.T) {
 		t.Fatal("negative cost accepted")
 	}
 }
+
+// TestMinCostSingleSlot pins the degenerate single-node mesh: one surviving
+// slot absorbs every task while its capacity holds (there is nothing to
+// optimize — the summed column cost is the answer) and turns infeasible the
+// moment the task count exceeds it.
+func TestMinCostSingleSlot(t *testing.T) {
+	cap := []int{3}
+	got, cost, err := MinCost(3, cap, func(i, j int) int64 { return int64(i + 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s != 0 {
+			t.Fatalf("task %d assigned to slot %d on a single-slot instance", i, s)
+		}
+	}
+	if cost != 6 {
+		t.Fatalf("cost = %d, want 1+2+3 = 6", cost)
+	}
+	if _, _, err := MinCost(4, cap, func(i, j int) int64 { return 1 }); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("over-capacity single slot: err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestMinCostTieBreakUnderPermutedInput pins the determinism contract the
+// repair path relies on: tie-breaking is a pure function of task and slot
+// indices, so relabeling the tasks relabels the assignment and changes
+// nothing else — total cost and per-slot load are invariant, and any task
+// with a unique cost row keeps its slot through the relabeling.
+func TestMinCostTieBreakUnderPermutedInput(t *testing.T) {
+	// Rows 0 and 1 are identical (a genuine tie); rows 2 and 3 are unique.
+	c := [][]int64{
+		{1, 2, 4},
+		{1, 2, 4},
+		{3, 1, 2},
+		{2, 5, 9},
+	}
+	cap := []int{2, 1, 1}
+	base, baseCost, err := MinCost(len(c), cap, costFn(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := MinCost(len(c), cap, costFn(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("repeated identical input diverged: %v vs %v", base, again)
+		}
+	}
+
+	unique := map[int]bool{2: true, 3: true}
+	for _, p := range [][]int{{1, 0, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		pc := make([][]int64, len(p))
+		for i, src := range p {
+			pc[i] = c[src]
+		}
+		got, cost, err := MinCost(len(pc), cap, costFn(pc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != baseCost {
+			t.Fatalf("perm %v: cost %d != base %d", p, cost, baseCost)
+		}
+		load := make([]int, len(cap))
+		baseLoad := make([]int, len(cap))
+		for i := range got {
+			load[got[i]]++
+			baseLoad[base[i]]++
+		}
+		for j := range load {
+			if load[j] != baseLoad[j] {
+				t.Fatalf("perm %v: slot load %v != base load %v", p, load, baseLoad)
+			}
+		}
+		for i, src := range p {
+			if unique[src] && got[i] != base[src] {
+				t.Fatalf("perm %v: unique task %d moved from slot %d to %d under relabeling",
+					p, src, base[src], got[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dmacp/internal/mesh"
+)
+
+// stepCtx is a deterministic anytime-budget context: it reports a deadline
+// (so the ladder takes the anytime path) and expires after a fixed number of
+// Err consultations, independent of wall-clock time. Tests use it to pin
+// exactly which ladder stage the "deadline" hits.
+type stepCtx struct{ left int }
+
+func (c *stepCtx) Deadline() (time.Time, bool) { return time.Time{}, true }
+func (c *stepCtx) Done() <-chan struct{}       { return nil }
+func (c *stepCtx) Value(any) any               { return nil }
+func (c *stepCtx) Err() error {
+	if c.left <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.left--
+	return nil
+}
+
+func TestChurnStateObserve(t *testing.T) {
+	m := mesh.MustNew(6, 6)
+	cs := NewChurnState()
+	f := mesh.NewFaultSet()
+
+	cs.Observe(m, f)
+	if cs.Failures(3) != 0 {
+		t.Fatal("pristine mesh must show zero failures")
+	}
+	f.KillTile(3)
+	cs.Observe(m, f)
+	cs.Observe(m, f) // still down: no double count
+	if got := cs.Failures(3); got != 1 {
+		t.Fatalf("one kill = one failure, got %d", got)
+	}
+	f.ReviveTile(3)
+	cs.Observe(m, f)
+	f.KillTile(3)
+	cs.Observe(m, f)
+	if got := cs.Failures(3); got != 2 {
+		t.Fatalf("kill-revive-kill = two failures, got %d", got)
+	}
+	if (*ChurnState)(nil).Failures(3) != 0 {
+		t.Fatal("nil ChurnState must report zero failures")
+	}
+}
+
+// TestNoThrashInvariant is the churn-convergence proof: N repeated
+// fault/revive cycles of the same element cost O(1) migrations after the
+// first. Cycle 1 may migrate work back to the revived tile; from the second
+// failure on, the churn cap refuses the flapping element outright, so every
+// later revive migrates exactly zero tasks.
+func TestNoThrashInvariant(t *testing.T) {
+	s, opts := partitioned(t)
+	m := opts.Mesh
+	var victim mesh.NodeID = mesh.InvalidNode
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if !m.IsMemoryController(n) && tasksOn(s, n) > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == mesh.InvalidNode {
+		t.Skip("no non-MC node hosts tasks")
+	}
+
+	const cycles = 5
+	f := mesh.NewFaultSet()
+	churn := NewChurnState()
+	ro := RepairOptions{LoadThreshold: opts.LoadThreshold}
+	migrations := make([]int, cycles)
+	lateCandidates := 0
+	lateDeclines := 0
+	for c := 0; c < cycles; c++ {
+		f.KillTile(victim)
+		churn.Observe(m, f)
+		repaired, _, err := RepairVerified(s, m, f, ro, nil)
+		if err != nil {
+			t.Fatalf("cycle %d repair: %v", c, err)
+		}
+		s = repaired
+		if tasksOn(s, victim) != 0 {
+			t.Fatalf("cycle %d: repaired schedule still uses dead node %d", c, victim)
+		}
+
+		f.ReviveTile(victim)
+		churn.Observe(m, f)
+		back, rrep, err := ReintegrateOnline(context.Background(), s, nil, m, f,
+			[]mesh.NodeID{victim}, ro, churn, nil)
+		if err != nil {
+			t.Fatalf("cycle %d reintegrate: %v", c, err)
+		}
+		s = back
+		migrations[c] = rrep.Migrated
+		if c >= 1 {
+			lateCandidates += rrep.Candidates
+			lateDeclines += rrep.DeclinedChurn
+		}
+		if rrep.Accepted && rrep.MovementAfter+rrep.MigrationTraffic > rrep.MovementBefore {
+			t.Fatalf("cycle %d: accepted reintegration loses movement: after %d + traffic %d > before %d",
+				c, rrep.MovementAfter, rrep.MigrationTraffic, rrep.MovementBefore)
+		}
+	}
+	for c := 1; c < cycles; c++ {
+		if migrations[c] != 0 {
+			t.Fatalf("no-thrash violated: cycle %d migrated %d tasks (history %v)", c, migrations[c], migrations)
+		}
+	}
+	// If later cycles still saw profitable candidates, the churn cap must be
+	// what held them back — otherwise the invariant passed vacuously.
+	if lateCandidates > 0 && lateDeclines == 0 {
+		t.Fatalf("late cycles had %d candidates but no churn declines", lateCandidates)
+	}
+}
+
+func TestReintegrateHysteresisBlocksMarginalMoves(t *testing.T) {
+	s, opts := partitioned(t)
+	m := opts.Mesh
+	var victim mesh.NodeID = mesh.InvalidNode
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if !m.IsMemoryController(n) && tasksOn(s, n) > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == mesh.InvalidNode {
+		t.Skip("no non-MC node hosts tasks")
+	}
+	f := mesh.NewFaultSet()
+	f.KillTile(victim)
+	repaired, _, err := RepairVerified(s, m, f, RepairOptions{LoadThreshold: opts.LoadThreshold}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ReviveTile(victim)
+
+	// An absurd hysteresis threshold: no saving can clear it, so nothing may
+	// migrate and the returned schedule is the stay-put residual.
+	ro := RepairOptions{LoadThreshold: opts.LoadThreshold, ChurnHysteresis: 1e12}
+	back, rrep, err := ReintegrateOnline(context.Background(), repaired, nil, m, f,
+		[]mesh.NodeID{victim}, ro, NewChurnState(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Accepted || rrep.Migrated != 0 {
+		t.Fatalf("hysteresis 1e12 still migrated %d tasks", rrep.Migrated)
+	}
+	if rrep.Candidates > 0 && rrep.DeclinedHysteresis == 0 {
+		t.Fatalf("candidates existed (%d) but none were declined by hysteresis", rrep.Candidates)
+	}
+	if tasksOn(back, victim) != 0 {
+		t.Fatal("stay-put residual must not use the revived node")
+	}
+}
+
+func TestReintegrateReturnsResidualOnExpiredContext(t *testing.T) {
+	s, opts := partitioned(t)
+	m := opts.Mesh
+	var victim mesh.NodeID = mesh.InvalidNode
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if !m.IsMemoryController(n) && tasksOn(s, n) > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == mesh.InvalidNode {
+		t.Skip("no non-MC node hosts tasks")
+	}
+	f := mesh.NewFaultSet()
+	f.KillTile(victim)
+	repaired, _, err := RepairVerified(s, m, f, RepairOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ReviveTile(victim)
+
+	back, rrep, err := ReintegrateOnline(&stepCtx{left: 0}, repaired, nil, m, f,
+		[]mesh.NodeID{victim}, RepairOptions{}, NewChurnState(), nil)
+	if err != nil {
+		t.Fatalf("expired context must fall back, not fail: %v", err)
+	}
+	if rrep.Accepted {
+		t.Fatal("expired context must not commit a migration")
+	}
+	if tasksOn(back, victim) != 0 {
+		t.Fatal("expired context must return the stay-put residual")
+	}
+}
+
+// deadTileWithWork kills the first non-MC node hosting tasks and returns the
+// schedule, its options, the fault set and the victim.
+func deadTileWithWork(t *testing.T) (*Schedule, Options, *mesh.FaultSet, mesh.NodeID) {
+	t.Helper()
+	s, opts := partitioned(t)
+	m := opts.Mesh
+	for n := mesh.NodeID(0); int(n) < m.Nodes(); n++ {
+		if !m.IsMemoryController(n) && tasksOn(s, n) > 0 {
+			f := mesh.NewFaultSet()
+			f.KillTile(n)
+			return s, opts, f, n
+		}
+	}
+	t.Skip("no non-MC node hosts tasks")
+	return nil, Options{}, nil, mesh.InvalidNode
+}
+
+// TestAnytimeDeadlineReturnsGreedyIncumbent pins the anytime contract: with
+// a budget that expires right after the first (greedy) attempt, the ladder
+// returns that verified incumbent rather than failing or running the
+// batched solve.
+func TestAnytimeDeadlineReturnsGreedyIncumbent(t *testing.T) {
+	s, _, f, _ := deadTileWithWork(t)
+	m := mesh.MustNew(6, 6)
+
+	// Unbounded reference: the full anytime path (greedy then min-cost).
+	unbounded, urep, err := RepairVerifiedCtx(&stepCtx{left: 1 << 30}, s, m, f, RepairOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded == nil {
+		t.Fatal("unbounded anytime repair returned nothing")
+	}
+
+	// Budget of 0: expires at the first poll, which happens after greedy.
+	got, grep, err := RepairVerifiedCtx(&stepCtx{left: 0}, s, m, f, RepairOptions{}, nil)
+	if err != nil {
+		t.Fatalf("deadline with an incumbent must succeed: %v", err)
+	}
+	if grep.Strategy != "greedy" {
+		t.Fatalf("pre-deadline incumbent should be the greedy repair, got %q", grep.Strategy)
+	}
+	if err := ValidateScheduleOn(got, m, f); err != nil {
+		t.Fatalf("incumbent not verifier-clean: %v", err)
+	}
+	// The anytime guarantee: more budget never returns worse movement.
+	if urep.MovementAfter > grep.MovementAfter {
+		t.Fatalf("unbounded result (%d) worse than pre-deadline incumbent (%d)",
+			urep.MovementAfter, grep.MovementAfter)
+	}
+}
+
+func TestAnytimeDeadlineWithNoIncumbentFails(t *testing.T) {
+	s, _, f, _ := deadTileWithWork(t)
+	m := mesh.MustNew(6, 6)
+	rejectAll := func(*Schedule) error { return errors.New("rejected by test checker") }
+
+	_, _, err := RepairVerifiedCtx(&stepCtx{left: 0}, s, m, f, RepairOptions{}, rejectAll)
+	if err == nil {
+		t.Fatal("expired deadline with no clean schedule must fail")
+	}
+	var rf *RepairFailure
+	if !errors.As(err, &rf) || rf.Stage != "deadline" {
+		t.Fatalf("want RepairFailure at stage deadline, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline failure must unwrap to context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRepairRetriesBeforeEscalating proves the bounded-retry rung: a checker
+// that rejects the first two candidates accepts on the third (relaxed)
+// incremental attempt, so the ladder never reaches full re-placement.
+func TestRepairRetriesBeforeEscalating(t *testing.T) {
+	s, _, f, _ := deadTileWithWork(t)
+	m := mesh.MustNew(6, 6)
+
+	calls := 0
+	flaky := func(c *Schedule) error {
+		calls++
+		if calls <= 2 {
+			return errors.New("transient rejection")
+		}
+		return ValidateScheduleOn(c, m, f)
+	}
+
+	got, rep, err := RepairVerified(s, m, f, RepairOptions{RetryLimit: 3}, flaky)
+	if err != nil {
+		t.Fatalf("retries should have recovered: %v", err)
+	}
+	if rep.Full {
+		t.Fatal("accepted repair escalated to full re-placement despite retry budget")
+	}
+	if calls != 3 {
+		t.Fatalf("checker consulted %d times, want 3 (initial + 2 retries)", calls)
+	}
+	if err := ValidateScheduleOn(got, m, f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a retry budget the same checker exhausts the classic ladder
+	// (one incremental, one full — two rejections) and the repair fails.
+	calls = 0
+	_, _, err = RepairVerified(s, m, f, RepairOptions{}, flaky)
+	var rf *RepairFailure
+	if !errors.As(err, &rf) || rf.Stage != "re-place-verify-reject" {
+		t.Fatalf("without retries want failure at re-place-verify-reject, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -89,8 +90,18 @@ type OnlineReport struct {
 //     verify.Input.Completed = ck.CompletedInstances(s).
 //
 // The input schedule is never mutated. The returned schedule is the
-// accepted residual (its task IDs are its own, dense from zero).
+// accepted residual (its task IDs are its own, dense from zero). It is
+// RepairOnlineCtx without a deadline.
 func RepairOnline(s *Schedule, ck *Checkpoint, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *OnlineReport, error) {
+	return RepairOnlineCtx(context.Background(), s, ck, m, f, o, check)
+}
+
+// RepairOnlineCtx is RepairOnline with a deadline: the residual surgery and
+// migration accounting always complete (they are cheap and bounded), the
+// escalation ladder underneath runs anytime via RepairVerifiedCtx — on
+// expiry the best verifier-clean residual found so far is returned, or a
+// *RepairFailure at stage "deadline" when none exists yet.
+func RepairOnlineCtx(ctx context.Context, s *Schedule, ck *Checkpoint, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *OnlineReport, error) {
 	if len(ck.Done) != len(s.Tasks) {
 		return nil, nil, fmt.Errorf("core: checkpoint covers %d tasks, schedule has %d", len(ck.Done), len(s.Tasks))
 	}
@@ -139,14 +150,44 @@ func RepairOnline(s *Schedule, ck *Checkpoint, m *mesh.Mesh, f *mesh.FaultSet, o
 		rep.MigrationTraffic += hops * int64(pages)
 	}
 
-	// Build the residual schedule: tasks of unfinished instances, IDs
-	// renumbered densely in original (topological) order.
+	rs, rstats := buildResidual(s, ck)
+	rep.CompletedTasks = rstats.completed
+	rep.ConvertedFetches = rstats.converted
+	rep.DroppedArcs = rstats.dropped
+	rep.ResidualTasks = len(rs.Tasks)
+
+	repaired, rrep, err := RepairVerifiedCtx(ctx, rs, m, f, o, check)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Repair = rrep
+	return repaired, rep, nil
+}
+
+// residualStats tallies what buildResidual changed while cutting the
+// schedule at a checkpoint.
+type residualStats struct {
+	completed int // tasks dropped because their instance finished
+	converted int // fetches retargeted to a completed writer's home copy
+	dropped   int // arcs into completed producers removed
+}
+
+// buildResidual cuts s at the checkpoint: tasks of unfinished instances
+// survive with IDs renumbered densely in original (topological) order, arcs
+// whose producer completed are dropped (execution time orders them across
+// the cut), and fetches whose last writer completed are retargeted to the
+// write-invalidated line's surviving home copy — keeping L1-hit claims only
+// where the checkpoint shows a live copy at the consumer. The input schedule
+// is never mutated. Both RepairOnline and ReintegrateOnline cut through
+// here, so the two surgeries cannot drift apart.
+func buildResidual(s *Schedule, ck *Checkpoint) (*Schedule, residualStats) {
+	var st residualStats
 	rs := &Schedule{}
 	newID := make([]int, len(s.Tasks))
 	lastWriter := make(map[uint64]int) // line -> original ID of last root store
 	for i, t := range s.Tasks {
 		if ck.Done[i] {
-			rep.CompletedTasks++
+			st.completed++
 			if t.IsRoot {
 				lastWriter[t.ResultLine] = i
 			}
@@ -178,12 +219,12 @@ func RepairOnline(s *Schedule, ck *Checkpoint, m *mesh.Mesh, f *mesh.FaultSet, o
 				converted = true
 			}
 			if converted {
-				rep.ConvertedFetches++
+				st.converted++
 			}
 		}
 		for j, p := range t.WaitFor {
 			if ck.Done[p] {
-				rep.DroppedArcs++ // execution time orders it across the cut
+				st.dropped++ // execution time orders it across the cut
 				continue
 			}
 			ct.addWait(newID[p], t.WaitHops[j])
@@ -195,19 +236,12 @@ func RepairOnline(s *Schedule, ck *Checkpoint, m *mesh.Mesh, f *mesh.FaultSet, o
 		newID[i] = ct.ID
 		rs.Tasks = append(rs.Tasks, &ct)
 	}
-	rep.ResidualTasks = len(rs.Tasks)
 	arcs := 0
 	for _, t := range rs.Tasks {
 		arcs += len(t.WaitFor)
 	}
 	rs.SyncsBefore, rs.SyncsAfter = arcs, arcs
-
-	repaired, rrep, err := RepairVerified(rs, m, f, o, check)
-	if err != nil {
-		return nil, rep, err
-	}
-	rep.Repair = rrep
-	return repaired, rep, nil
+	return rs, st
 }
 
 // lineResident reports whether the checkpoint holds a live L1 copy of line

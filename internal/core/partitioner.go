@@ -116,9 +116,11 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 	sizes := opts.windowSizes()
 	prs := make([]*passResult, len(sizes))
 	errs := make([]error, len(sizes))
-	par.ForEach(opts.Jobs, len(sizes), func(i int) {
+	if err := par.ForEach(opts.Jobs, len(sizes), func(i int) {
 		prs[i], errs[i] = runPass(prog, nest, store, &opts, sizes[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"dmacp/internal/assign"
 	"dmacp/internal/mesh"
@@ -55,6 +57,20 @@ type RepairOptions struct {
 	// Strategy selects the migration assignment (see AssignStrategy); the
 	// zero value is AssignAuto.
 	Strategy AssignStrategy
+	// RetryLimit bounds the extra incremental attempts RepairVerifiedCtx
+	// makes after a rejected incremental repair — each with the load-balance
+	// slack relaxed by 1.5x and RetryBackoff between attempts — before
+	// escalating to the full re-placement. 0 escalates immediately (the
+	// pre-anytime behavior).
+	RetryLimit int
+	// RetryBackoff is the context-aware pause between retry attempts; 0
+	// retries without pausing.
+	RetryBackoff time.Duration
+	// ChurnHysteresis scales the migration cost a revived element must beat
+	// before ReintegrateOnline migrates work back onto it: a task returns
+	// only when bytes x hops saved > ChurnHysteresis x migration cost.
+	// Values <= 0 mean 1.0. Higher values damp churn harder.
+	ChurnHysteresis float64
 }
 
 // RepairReport describes what one RepairSchedule call changed.
@@ -536,10 +552,12 @@ type RepairChecker func(*Schedule) error
 // RepairFailure records where the repair -> verify -> re-place escalation
 // ladder gave up. Stage is the deepest stage reached: "repair" (incremental
 // repair itself errored), "verify-reject" (the incremental repair was
-// rejected by the verifier), "re-place" (the full re-placement errored), or
-// "re-place-verify-reject" (even the re-placement was rejected). Unwrap
-// exposes the underlying cause, so errors.Is(err, mesh.ErrPartitioned)
-// still identifies hopeless meshes.
+// rejected by the verifier), "re-place" (the full re-placement errored),
+// "re-place-verify-reject" (even the re-placement was rejected), or
+// "deadline" (the context expired before any attempt produced a
+// verifier-clean schedule). Unwrap exposes the underlying cause, so
+// errors.Is(err, mesh.ErrPartitioned) still identifies hopeless meshes and
+// errors.Is(err, context.DeadlineExceeded) identifies expired budgets.
 type RepairFailure struct {
 	Stage string
 	Err   error
@@ -551,44 +569,139 @@ func (e *RepairFailure) Error() string {
 
 func (e *RepairFailure) Unwrap() error { return e.Err }
 
+// sleepCtx pauses for d, returning early with the context's error when it
+// expires first. d <= 0 only polls the context.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // RepairVerified is the gated degradation path: repair incrementally,
 // verify; on rejection escalate to a full re-placement, verify; only then
 // give up with a *RepairFailure naming the stage reached. The input
 // schedule is never mutated — each attempt works on a Clone — and the
 // returned schedule is the accepted clone. A nil checker degrades to
-// structural validation only.
+// structural validation only. It is RepairVerifiedCtx without a deadline.
 func RepairVerified(s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *RepairReport, error) {
+	return RepairVerifiedCtx(context.Background(), s, m, f, o, check)
+}
+
+// RepairVerifiedCtx is the anytime escalation ladder. Without a context
+// deadline it behaves exactly like the classic ladder: one incremental
+// repair (AssignAuto commits the cheaper of batched/greedy pre-verify),
+// verify, optional bounded retries with relaxed load balance, then a full
+// re-placement. With a deadline set, every ladder stage checks the context
+// and an *incumbent* — the best verifier-clean schedule found so far — is
+// tracked: the cheap greedy assignment runs first so an incumbent exists as
+// early as possible, the batched min-cost attempt then only replaces it when
+// clean and no worse (ties prefer the batched result), and on expiry the
+// incumbent is returned as-is. The result is therefore never worse than the
+// pre-deadline incumbent. Only when the deadline expires before any clean
+// schedule exists does it fail, with a *RepairFailure at stage "deadline"
+// wrapping the context's error.
+func RepairVerifiedCtx(ctx context.Context, s *Schedule, m *mesh.Mesh, f *mesh.FaultSet, o RepairOptions, check RepairChecker) (*Schedule, *RepairReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if check == nil {
 		check = func(c *Schedule) error { return ValidateScheduleOn(c, m, f) }
 	}
-	var fail *RepairFailure
-	for _, full := range []bool{false, true} {
-		if o.Full && !full {
-			continue // caller already requested the full strategy
-		}
-		attempt := o
-		attempt.Full = full
+	_, anytime := ctx.Deadline()
+
+	var (
+		best    *Schedule     // incumbent: best verifier-clean schedule so far
+		bestRep *RepairReport //
+		fail    *RepairFailure
+	)
+	// attempt clones, repairs, and verifier-gates one configuration; a clean
+	// result that improves on the incumbent (or ties, when preferTie is set)
+	// replaces it. Failures record the deepest stage for the final error.
+	attempt := func(opts RepairOptions, repairStage, rejectStage string, preferTie bool) {
 		c := s.Clone()
-		stage := "repair"
-		if full {
-			stage = "re-place"
+		rep, err := RepairSchedule(c, m, f, opts)
+		if err != nil {
+			fail = &RepairFailure{Stage: repairStage, Err: err}
+			return
 		}
-		rep, err := RepairSchedule(c, m, f, attempt)
-		if err == nil {
-			if verr := ValidateScheduleOn(c, m, f); verr != nil {
-				err = verr
-			} else if cerr := check(c); cerr != nil {
-				err = cerr
-			} else {
-				return c, rep, nil
-			}
-			if full {
-				stage = "re-place-verify-reject"
-			} else {
-				stage = "verify-reject"
-			}
+		if verr := ValidateScheduleOn(c, m, f); verr != nil {
+			fail = &RepairFailure{Stage: rejectStage, Err: verr}
+			return
 		}
-		fail = &RepairFailure{Stage: stage, Err: err}
+		if cerr := check(c); cerr != nil {
+			fail = &RepairFailure{Stage: rejectStage, Err: cerr}
+			return
+		}
+		if best == nil || rep.MovementAfter < bestRep.MovementAfter ||
+			(preferTie && rep.MovementAfter == bestRep.MovementAfter) {
+			best, bestRep = c, rep
+		}
+	}
+	deadlineResult := func() (*Schedule, *RepairReport, error) {
+		if best != nil {
+			return best, bestRep, nil
+		}
+		return nil, nil, &RepairFailure{Stage: "deadline", Err: ctx.Err()}
+	}
+
+	// Stage 1: incremental repair (unless the caller forced Full).
+	if !o.Full {
+		if anytime && o.Strategy == AssignAuto && !f.Empty() {
+			// Anytime split of AssignAuto: greedy first so an incumbent
+			// exists before the costlier batched solve; min-cost then has to
+			// be clean and no worse to take over (ties prefer batched, the
+			// AssignAuto rule).
+			oGr := o
+			oGr.Strategy = AssignGreedy
+			attempt(oGr, "repair", "verify-reject", false)
+			if ctx.Err() != nil {
+				return deadlineResult()
+			}
+			oMC := o
+			oMC.Strategy = AssignMinCost
+			attempt(oMC, "repair", "verify-reject", true)
+		} else {
+			attempt(o, "repair", "verify-reject", false)
+		}
+		if best != nil {
+			return best, bestRep, nil
+		}
+		// Bounded retry with progressively relaxed load balance before the
+		// expensive full re-placement: a rejected incremental repair often
+		// just needs more placement slack.
+		relaxed := o
+		if relaxed.LoadThreshold <= 0 {
+			relaxed.LoadThreshold = 0.10
+		}
+		for r := 0; r < o.RetryLimit && best == nil; r++ {
+			if err := sleepCtx(ctx, o.RetryBackoff); err != nil {
+				return deadlineResult()
+			}
+			relaxed.LoadThreshold *= 1.5
+			attempt(relaxed, "repair", "verify-reject", false)
+		}
+		if best != nil {
+			return best, bestRep, nil
+		}
+	}
+
+	// Stage 2: full re-placement.
+	if ctx.Err() != nil {
+		return deadlineResult()
+	}
+	full := o
+	full.Full = true
+	attempt(full, "re-place", "re-place-verify-reject", false)
+	if best != nil {
+		return best, bestRep, nil
 	}
 	return nil, nil, fail
 }

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmacp/internal/workloads"
+)
+
+// TestChurnSweepGate is the fault-churn acceptance harness: across all 12
+// workloads a victim tile (plus random extra links) dies mid-run, the
+// residual is repaired verifier-clean, the dead elements recover, and the
+// hysteresis re-integrator decides whether to migrate work back. The gate
+// requires zero contract violations: every event repaired, recovery
+// checkpoints consistent with fault checkpoints, accepted re-integrations
+// never losing movement, the kill/revive churn loops free of thrash, and
+// the deadline probes returning verifier-clean incumbents that unbounded
+// runs never regress below.
+func TestChurnSweepGate(t *testing.T) {
+	res, err := ChurnSweep(ChurnSweepConfig{Scale: workloads.TestScale(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("churn sweep drove no events")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	for _, u := range res.Unrepairable {
+		t.Errorf("unrepairable at acceptance fault levels: %s", u)
+	}
+	if res.Repaired != res.Events {
+		t.Errorf("repaired %d of %d events", res.Repaired, res.Events)
+	}
+	if res.NoThrashCycles == 0 {
+		t.Error("no-thrash probe drove no cycles")
+	}
+	if res.DeadlineEvents == 0 {
+		t.Error("deadline probe ran no events")
+	}
+	// The sweep must be non-vacuous: every leg of the decision machinery has
+	// to engage somewhere — profitable migrations committed, flapping
+	// elements refused by the cap, and marginal moves filtered by the
+	// hysteresis margin. A zero on any leg means that path went untested.
+	if res.Accepted == 0 {
+		t.Error("no re-integration was ever accepted — the commit path never engaged")
+	}
+	if res.Migrated == 0 || res.MigrationTraffic == 0 {
+		t.Errorf("accepted re-integrations moved no work (migrated %d, traffic %d)",
+			res.Migrated, res.MigrationTraffic)
+	}
+	if res.DeclinedChurn == 0 {
+		t.Error("the flap cap never declined a candidate — churn history never engaged")
+	}
+	if res.DeclinedHysteresis == 0 {
+		t.Error("the hysteresis margin never declined a candidate")
+	}
+}
+
+// TestChurnSweepJobsDeterminism requires the aggregate result to be
+// byte-identical at any worker count: series are enumerated and seeded up
+// front and merged in series order.
+func TestChurnSweepJobsDeterminism(t *testing.T) {
+	cfg := ChurnSweepConfig{
+		Apps:  []string{"FFT", "MiniMD"},
+		Scale: workloads.TestScale(),
+		Seed:  7,
+	}
+	cfg.Jobs = 1
+	serial, err := ChurnSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 8
+	wide, err := ChurnSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("churn sweep differs across -j:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}
+
+// TestRunnerChurnSweepExperiment exercises the CLI experiment wrapper and
+// requires a zero-violation headline.
+func TestRunnerChurnSweepExperiment(t *testing.T) {
+	r := NewRunner(workloads.TestScale())
+	e, err := r.ChurnSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "churnsweep" {
+		t.Fatalf("experiment ID = %q", e.ID)
+	}
+	if v := e.Headline["violations"]; v != 0 {
+		t.Errorf("churnsweep headline violations = %v, want 0\n%s", v, e.Table)
+	}
+	if !strings.Contains(e.Title, "Fault churn") {
+		t.Errorf("unexpected title %q", e.Title)
+	}
+}

@@ -339,7 +339,7 @@ func (r *Runner) Fig18() (*Experiment, error) {
 	}
 	rows := make([]fig18Row, len(names))
 	errs := make([]error, len(names))
-	par.ForEach(r.Jobs, len(names), func(i int) {
+	poolErr := par.ForEach(r.Jobs, len(names), func(i int) {
 		ar, err := r.Base(names[i])
 		if err != nil {
 			errs[i] = err
@@ -407,6 +407,9 @@ func (r *Runner) Fig18() (*Experiment, error) {
 		}
 		rows[i] = fig18Row{s1: s1, s2: s2, s3: s3, s4: s4, full: ar.SimDef.Cycles / ar.SimOpt.Cycles}
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
@@ -471,7 +474,7 @@ func (r *Runner) Fig20() (*Experiment, error) {
 	const nw = 8
 	cells := make([]float64, len(names)*nw)
 	errs := make([]error, len(names)*nw)
-	par.ForEach(r.Jobs, len(cells), func(idx int) {
+	poolErr := par.ForEach(r.Jobs, len(cells), func(idx int) {
 		ai, w := idx/nw, idx%nw+1
 		ar, err := r.Base(names[ai])
 		if err != nil {
@@ -497,6 +500,9 @@ func (r *Runner) Fig20() (*Experiment, error) {
 		}
 		cells[idx] = stats.Reduction(ar.SimDef.Cycles, cycles)
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
@@ -613,7 +619,7 @@ func (r *Runner) Fig22() (*Experiment, error) {
 	}
 	cells := make([]float64, len(specs)*len(names))
 	errs := make([]error, len(specs)*len(names))
-	par.ForEach(r.Jobs, len(cells), func(idx int) {
+	poolErr := par.ForEach(r.Jobs, len(cells), func(idx int) {
 		si, ai := idx/len(names), idx%len(names)
 		cycles, err := r.configCycles(names[ai], specs[si].cluster, specs[si].mm, specs[si].optimized)
 		if err != nil {
@@ -622,6 +628,9 @@ func (r *Runner) Fig22() (*Experiment, error) {
 		}
 		cells[idx] = baseCycles[names[ai]] / cycles
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
@@ -697,7 +706,7 @@ func (r *Runner) Fig23() (*Experiment, error) {
 	}
 	rows := make([]fig23Row, len(names))
 	errs := make([]error, len(names))
-	par.ForEach(r.Jobs, len(names), func(i int) {
+	poolErr := par.ForEach(r.Jobs, len(names), func(i int) {
 		ar, err := r.Base(names[i])
 		if err != nil {
 			errs[i] = err
@@ -738,6 +747,9 @@ func (r *Runner) Fig23() (*Experiment, error) {
 		}
 		rows[i] = fig23Row{dataCycles: dataCycles, combCycles: combCycles}
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}

@@ -175,7 +175,7 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		violations  []string
 	}
 	results := make([]seriesResult, len(sweep))
-	par.ForEach(cfg.Jobs, len(sweep), func(si int) {
+	poolErr := par.ForEach(cfg.Jobs, len(sweep), func(si int) {
 		s := sweep[si]
 		out := &results[si]
 		out.sums = make([]float64, len(cfg.Levels))
@@ -246,6 +246,9 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		}
 	})
 
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	perLevel := make([][]float64, len(cfg.Levels))
 	worst := make(map[string]*AppWorstCase)
 	var appOrder []string

@@ -160,7 +160,7 @@ func OnlineSweep(cfg OnlineSweepConfig) (*OnlineSweepResult, error) {
 		unrepairable, violations  []string
 	}
 	results := make([]seriesResult, len(sweep))
-	par.ForEach(cfg.Jobs, len(sweep), func(si int) {
+	poolErr := par.ForEach(cfg.Jobs, len(sweep), func(si int) {
 		s := sweep[si]
 		out := &results[si]
 		out.onlineSums = make([]float64, nl)
@@ -301,6 +301,9 @@ func OnlineSweep(cfg OnlineSweepConfig) (*OnlineSweepResult, error) {
 		}
 	})
 
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	onlineSums := make([]float64, nl)
 	scratchSums := make([]float64, nl)
 	migSums := make([]float64, nl)

@@ -185,9 +185,11 @@ func (r *Runner) Warm(names ...string) error {
 		names = appNames()
 	}
 	errs := make([]error, len(names))
-	par.ForEach(r.Jobs, len(names), func(i int) {
+	if err := par.ForEach(r.Jobs, len(names), func(i int) {
 		_, errs[i] = r.Base(names[i])
-	})
+	}); err != nil {
+		return err
+	}
 	return par.FirstError(errs)
 }
 

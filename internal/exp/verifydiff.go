@@ -184,9 +184,11 @@ func VerifyDifferential(cfg VerifyDiffConfig) (*VerifyDiffResult, error) {
 	// program order below so the aggregate (and the violation list order)
 	// matches the serial harness.
 	partials := make([]vdPartial, cfg.Programs)
-	par.ForEach(cfg.Jobs, cfg.Programs, func(p int) {
+	if err := par.ForEach(cfg.Jobs, cfg.Programs, func(p int) {
 		partials[p] = verifyOneProgram(cfg, p, srcs[p])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for p := range partials {
 		out := &partials[p]
 		if out.err != nil {

@@ -34,8 +34,9 @@ type FaultSet struct {
 
 	// distMu guards the memoized fault-aware all-pairs distance table.
 	// Repair, validation and the simulator all need the same table; caching
-	// it here amortizes the per-node BFS across those passes. Any Kill*
-	// mutation invalidates the cache.
+	// it here amortizes the per-node BFS across those passes. Any Kill* or
+	// Revive* mutation invalidates the cache — revival must clear it too, or
+	// routing would keep avoiding hardware that is live again.
 	distMu   sync.Mutex
 	distMesh *Mesh
 	dist     [][]int
@@ -316,7 +317,8 @@ func (m *Mesh) DistanceAvoiding(src, dst NodeID, f *FaultSet) (int, error) {
 // pair: dist[a][b] is the live hop count from a to b, or -1 when the pair is
 // partitioned. Schedule repair, validation and the simulator use it to avoid
 // re-running BFS per query. The result is memoized — on the fault set for a
-// degraded mesh (cleared by any Kill* mutation), and on the mesh itself for
+// degraded mesh (cleared by any Kill* or Revive* mutation), and on the mesh
+// itself for
 // the pristine case — so the returned table is shared: callers must treat it
 // as read-only.
 func (m *Mesh) AllDistancesAvoiding(f *FaultSet) [][]int {

@@ -5,13 +5,37 @@
 // slots are indexed, the caller aggregates results in the same order as a
 // serial loop, which is what keeps parallel runs byte-identical to serial
 // ones.
+//
+// Workers are panic-isolated: a panic inside one job is recovered into a
+// structured *PanicError (job index, panic value, stack) instead of killing
+// the process, so one poisoned job degrades exactly one result slot. ForEach
+// returns the lowest-index panic — the same one a serial loop with early
+// exit would have hit first — keeping the surfaced error deterministic at
+// any worker count.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError records one recovered worker panic. Index is the job that
+// panicked, Value the recovered panic value, and Stack the worker's stack at
+// recovery time. Error() deliberately omits the stack: stacks carry
+// addresses and goroutine ids that differ between runs, and the error string
+// feeds byte-identical reports. Callers that want the trace read Stack.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v", e.Index, e.Value)
+}
 
 // Jobs normalizes a -j style worker count: values <= 0 mean "one worker per
 // available CPU" (GOMAXPROCS).
@@ -27,38 +51,67 @@ func Jobs(j int) int {
 // calling goroutine. fn must confine its writes to per-index state (slot i of
 // a results slice); ForEach provides no ordering between tasks beyond full
 // completion on return.
-func ForEach(jobs, n int, fn func(i int)) {
+//
+// A panic inside fn is recovered into a *PanicError and does not stop the
+// other jobs: every index still runs, panicked ones simply leave their
+// result slot untouched. ForEach returns the lowest-index recovered panic
+// (nil when every job completed), so the reported failure is identical at
+// every worker count.
+func ForEach(jobs, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := Jobs(jobs)
 	if w > n {
 		w = n
 	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
 	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
+		panicMu sync.Mutex
+		first   *PanicError
 	)
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+	record := func(i int, v any, stack []byte) {
+		panicMu.Lock()
+		if first == nil || i < first.Index {
+			first = &PanicError{Index: i, Value: v, Stack: stack}
+		}
+		panicMu.Unlock()
+	}
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(i, v, debug.Stack())
 			}
 		}()
+		fn(i)
 	}
-	wg.Wait()
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			next atomic.Int64
+		)
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if first == nil {
+		return nil
+	}
+	return first
 }
 
 // FirstError returns the lowest-index non-nil error, mirroring the error a

@@ -87,3 +87,72 @@ func TestFirstError(t *testing.T) {
 		t.Fatalf("want %v, got %v", e1, err)
 	}
 }
+
+// TestForEachPanicIsolation checks that a panicking job is recovered into a
+// deterministic *PanicError, every other job still runs, and the lowest
+// panicking index wins at any worker count.
+func TestForEachPanicIsolation(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		const n = 16
+		visits := make([]int, n)
+		err := ForEach(jobs, n, func(i int) {
+			visits[i]++
+			if i == 5 || i == 11 {
+				panic(i * 10)
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: want *PanicError, got %v", jobs, err)
+		}
+		if pe.Index != 5 {
+			t.Fatalf("jobs=%d: want lowest panicking index 5, got %d", jobs, pe.Index)
+		}
+		if pe.Value != 50 {
+			t.Fatalf("jobs=%d: want panic value 50, got %v", jobs, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("jobs=%d: want non-empty stack", jobs)
+		}
+		want := "par: job 5 panicked: 50"
+		if pe.Error() != want {
+			t.Fatalf("jobs=%d: Error() = %q, want %q", jobs, pe.Error(), want)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("jobs=%d: index %d visited %d times despite panics elsewhere", jobs, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachNoPanicReturnsNil(t *testing.T) {
+	if err := ForEach(4, 8, func(int) {}); err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+	if err := ForEach(4, 0, func(int) { panic("never runs") }); err != nil {
+		t.Fatalf("n=0: want nil, got %v", err)
+	}
+}
+
+// TestForEachPanicErrorInFirstError checks the integration path used by the
+// experiment engine: a recovered panic surfaced through FirstError alongside
+// ordinary per-slot errors.
+func TestForEachPanicErrorInFirstError(t *testing.T) {
+	const n = 4
+	errs := make([]error, n)
+	if err := ForEach(2, n, func(i int) {
+		if i == 2 {
+			panic("poisoned")
+		}
+	}); err != nil {
+		errs[0] = err // callers may fold the pool error into their slot list
+	}
+	var pe *PanicError
+	if !errors.As(FirstError(errs), &pe) {
+		t.Fatalf("want *PanicError through FirstError, got %v", FirstError(errs))
+	}
+	if pe.Index != 2 || pe.Value != "poisoned" {
+		t.Fatalf("got index=%d value=%v", pe.Index, pe.Value)
+	}
+}

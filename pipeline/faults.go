@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -17,6 +18,27 @@ import (
 	"dmacp/internal/verify"
 	"dmacp/internal/workloads"
 )
+
+// ErrBadInput flags invalid user input — malformed fault specs, node ids
+// outside the mesh, out-of-range arrival fractions — as opposed to a fault
+// set the repair ladder gave up on. `dmacp faults` maps errors.Is(err,
+// ErrBadInput) to exit code 2 and unrepairable sets to exit code 1.
+var ErrBadInput = errors.New("invalid input")
+
+// badInputf builds an input-validation error wrapping ErrBadInput.
+func badInputf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadInput)...)
+}
+
+// repairContext derives the anytime-repair context from Config.Timeout: a
+// deadline when a budget was set, plain Background otherwise (the classic
+// run-to-completion ladder).
+func repairContext(cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.Timeout > 0 {
+		return context.WithTimeout(context.Background(), cfg.Timeout)
+	}
+	return context.Background(), func() {}
+}
 
 // FaultSpec describes the faults to inject. Random counts (Links, Routers,
 // Tiles with Seed) and explicit kill lists compose: the random draw happens
@@ -43,15 +65,15 @@ func (s FaultSpec) Build(m *mesh.Mesh) (*mesh.FaultSet, error) {
 		for _, pair := range strings.Split(s.KillLinks, ",") {
 			a, b, ok := strings.Cut(strings.TrimSpace(pair), "-")
 			if !ok {
-				return nil, fmt.Errorf("pipeline: bad link %q (want \"a-b\")", pair)
+				return nil, badInputf("pipeline: bad link %q (want \"a-b\")", pair)
 			}
 			an, err1 := strconv.Atoi(strings.TrimSpace(a))
 			bn, err2 := strconv.Atoi(strings.TrimSpace(b))
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("pipeline: bad link %q (want \"a-b\")", pair)
+				return nil, badInputf("pipeline: bad link %q (want \"a-b\")", pair)
 			}
 			if !m.Valid(mesh.NodeID(an)) || !m.Valid(mesh.NodeID(bn)) || m.Distance(mesh.NodeID(an), mesh.NodeID(bn)) != 1 {
-				return nil, fmt.Errorf("pipeline: %q is not a physical link of the %dx%d mesh", pair, m.Cols(), m.Rows())
+				return nil, badInputf("pipeline: %q is not a physical link of the %dx%d mesh", pair, m.Cols(), m.Rows())
 			}
 			f.KillLink(mesh.NodeID(an), mesh.NodeID(bn))
 		}
@@ -63,7 +85,7 @@ func (s FaultSpec) Build(m *mesh.Mesh) (*mesh.FaultSet, error) {
 		for _, tok := range strings.Split(list, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || !m.Valid(mesh.NodeID(n)) {
-				return fmt.Errorf("pipeline: bad node id %q", tok)
+				return badInputf("pipeline: bad node id %q", tok)
 			}
 			apply(mesh.NodeID(n))
 		}
@@ -161,7 +183,9 @@ func RunFaults(k Kernel, cfg Config, spec FaultSpec) (*FaultReport, error) {
 		verifySummary = rep.Summary()
 		return rep.Err()
 	}
-	repaired, rep, err := core.RepairVerified(opt.Schedule, opts.Mesh, f, core.RepairOptions{
+	ctx, cancel := repairContext(cfg)
+	defer cancel()
+	repaired, rep, err := core.RepairVerifiedCtx(ctx, opt.Schedule, opts.Mesh, f, core.RepairOptions{
 		LoadThreshold: opts.LoadThreshold,
 	}, checker)
 	if err != nil {
@@ -265,7 +289,7 @@ func (r *OnlineFaultReport) String() string {
 // also carries the re-partition-from-scratch movement for comparison.
 func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) (*OnlineFaultReport, error) {
 	if arrivalFrac <= 0 || arrivalFrac >= 1 {
-		return nil, fmt.Errorf("pipeline: arrival fraction %v outside (0, 1)", arrivalFrac)
+		return nil, badInputf("pipeline: arrival fraction %v outside (0, 1)", arrivalFrac)
 	}
 	prog, nest, store, opts, simCfg, err := build(k, cfg)
 	if err != nil {
@@ -276,7 +300,7 @@ func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) 
 		return nil, err
 	}
 	if f.Empty() {
-		return nil, fmt.Errorf("pipeline: online mode needs a non-empty fault set (use -links/-tiles/-kill-*)")
+		return nil, badInputf("pipeline: online mode needs a non-empty fault set (use -links/-tiles/-kill-*)")
 	}
 	opt, err := core.Partition(prog, nest, store, opts)
 	if err != nil {
@@ -314,7 +338,9 @@ func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) 
 		verifySummary = rep.Summary()
 		return rep.Err()
 	}
-	residual, orep, err := core.RepairOnline(opt.Schedule, ck, opts.Mesh, f, core.RepairOptions{
+	ctx, cancel := repairContext(cfg)
+	defer cancel()
+	residual, orep, err := core.RepairOnlineCtx(ctx, opt.Schedule, ck, opts.Mesh, f, core.RepairOptions{
 		LoadThreshold: opts.LoadThreshold,
 	}, checker)
 	if err != nil {
@@ -333,7 +359,7 @@ func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) 
 		}
 		return rep.Err()
 	}
-	_, srep, err := core.RepairVerified(opt.Schedule, opts.Mesh, f, core.RepairOptions{
+	_, srep, err := core.RepairVerifiedCtx(ctx, opt.Schedule, opts.Mesh, f, core.RepairOptions{
 		LoadThreshold: opts.LoadThreshold, Full: true,
 	}, fullChecker)
 	if err != nil {

@@ -18,6 +18,7 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"dmacp/internal/baseline"
 	"dmacp/internal/codegen"
@@ -71,6 +72,11 @@ type Config struct {
 	// <= 0 means one worker per CPU; 1 forces serial execution. The report is
 	// identical at every setting.
 	Jobs int
+	// Timeout bounds the fault-repair paths (`dmacp faults -timeout`): the
+	// escalation ladder runs anytime against the deadline and returns the
+	// best verifier-clean schedule found when it expires, or fails at stage
+	// "deadline" when none exists yet. 0 means no deadline.
+	Timeout time.Duration
 }
 
 // DefaultConfig mirrors the paper's evaluation platform.
