@@ -25,8 +25,10 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# The project linter: cmd/dmacplint runs the internal/analysis suite
-# (maporder, parownership, seeddiscipline, bytehops, ctxdiscipline) over the whole module.
+# The project linter: cmd/dmacplint runs the internal/analysis suite — five
+# syntactic analyzers (maporder, parownership, seeddiscipline, bytehops,
+# ctxdiscipline) plus three interprocedural ones over module-wide call-graph
+# summaries (detflow, lockorder, frozenstate) — over the whole module.
 # Stdlib-only, so it works offline; findings are build failures.
 lint: build
 	$(GO) run ./cmd/dmacplint ./...
@@ -101,9 +103,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Benchmark-trajectory harness: micro hot-path costs + serial-vs-parallel
-# suite timings + table byte-identity check, recorded to BENCH_8.json.
+# suite timings + table byte-identity check, recorded to BENCH_9.json.
 bench-json: build
-	$(GO) run ./cmd/dmacp bench -o BENCH_8.json
+	$(GO) run ./cmd/dmacp bench -o BENCH_9.json
 
 check: build vet lint staticcheck test race verifybig faultsweep onlinesweep churnsweep bench-json
 	@echo "check: all gates passed"

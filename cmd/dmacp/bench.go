@@ -3,11 +3,13 @@ package main
 // The bench subcommand is the benchmark-trajectory harness: it measures the
 // hot-path micro costs (distance lookups, partitioning, simulation) with
 // testing.Benchmark, times the experiment suite serial (-j 1) versus parallel
-// (-j N), asserts the two runs produce byte-identical tables, and writes the
-// whole record to a JSON file (BENCH_8.json by default) so successive PRs can
-// track the performance trajectory.
+// (-j N), asserts the two runs produce byte-identical tables, times the
+// dmacplint whole-tree pass (twice, asserting byte-identical -json output),
+// and writes the whole record to a JSON file (BENCH_9.json by default) so
+// successive PRs can track the performance trajectory.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -17,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"dmacp/internal/analysis"
 	"dmacp/internal/core"
 	"dmacp/internal/exp"
 	"dmacp/internal/mesh"
@@ -42,7 +45,7 @@ type benchGroup struct {
 	Headline        map[string]float64 `json:"headline,omitempty"`
 }
 
-// benchReport is the BENCH_8.json schema.
+// benchReport is the BENCH_9.json schema.
 type benchReport struct {
 	Schema       string       `json:"schema"`
 	NumCPU       int          `json:"num_cpu"`
@@ -150,7 +153,7 @@ func identicalRuns(a, b *suiteRun) bool {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("dmacp bench", flag.ExitOnError)
 	var (
-		out   = fs.String("o", "BENCH_8.json", "output JSON path (\"-\" for stdout)")
+		out   = fs.String("o", "BENCH_9.json", "output JSON path (\"-\" for stdout)")
 		iters = fs.Int("iters", 48, "workload base iterations for the suite timing")
 		elems = fs.Int("elems", 1<<13, "workload array length for the suite timing")
 		jobs  = fs.Int("j", 0, "parallel worker count to compare against serial (<= 0 = one per CPU)")
@@ -317,6 +320,51 @@ func runBench(args []string) {
 		}
 		if parTotal > 0 {
 			rep.SuiteSpeedup = serialTotal / parTotal
+		}
+
+		// Project-lint timing: dmacplint's whole-tree wall time (load +
+		// all eight analyzers, interprocedural facts included), run twice.
+		// The two passes stand in for serial/parallel, and TablesIdentical
+		// asserts the -json bytes are identical across runs — the same
+		// determinism contract the experiment tables get. Excluded from
+		// SuiteSpeedup, which only aggregates true -j comparisons. The
+		// group is skipped (with a warning) when the module source is not
+		// reachable from the working directory, e.g. a relocated binary.
+		lintPass := func() (float64, []byte, int, error) {
+			start := time.Now()
+			pkgs, err := analysis.Load(analysis.LoadConfig{}, "./...")
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			diags := analysis.Run(pkgs, analysis.All())
+			js, err := analysis.DiagnosticsJSON(diags)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			return time.Since(start).Seconds(), js, len(diags), nil
+		}
+		s1, j1, nFindings, err1 := lintPass()
+		s2, j2, _, err2 := lintPass()
+		if err1 != nil || err2 != nil {
+			err := err1
+			if err == nil {
+				err = err2
+			}
+			fmt.Fprintln(os.Stderr, "dmacp bench: skipping dmacplint group:", err)
+		} else {
+			same := bytes.Equal(j1, j2)
+			identical = identical && same
+			g := benchGroup{
+				Name:            "dmacplint",
+				SerialSeconds:   s1,
+				ParallelSeconds: s2,
+				TablesIdentical: same,
+				Headline:        map[string]float64{"dmacplint.findings": float64(nFindings)},
+			}
+			if s2 > 0 {
+				g.Speedup = s1 / s2
+			}
+			rep.Groups = append(rep.Groups, g)
 		}
 	}
 

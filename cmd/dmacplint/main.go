@@ -4,7 +4,7 @@
 // (and therefore `make check`) and runs in CI; a non-empty finding list is a
 // build failure.
 //
-// The five analyzers:
+// The eight analyzers:
 //
 //	maporder       no order-sensitive map iteration on the schedule-emission
 //	               path (byte-identical schedules at any -j)
@@ -15,10 +15,25 @@
 //	bytehops       unit consistency of bytes, hops and bytes×hops movement
 //	ctxdiscipline  context.Context is always the first parameter and never
 //	               a struct field (deadlines cannot outlive their call)
+//	detflow        interprocedural nondeterminism taint: map-iteration order,
+//	               unseeded randomness and wall-clock seeds that reach the
+//	               emission path through any call chain
+//	lockorder      module-wide mutex-acquisition-order cycles, plus locks
+//	               held across par.ForEach / sim.RunCtx fan-out boundaries
+//	frozenstate    values published for concurrent read (core.Schedule,
+//	               mesh.DistanceTable, //lint:dmacp-frozen types) must not be
+//	               mutated outside their declaring package after publication
+//
+// The last three share one interprocedural pass: a deterministic module-wide
+// call graph with bottom-up per-function summaries (see internal/analysis).
 //
 // Usage:
 //
-//	dmacplint [-analyzers maporder,bytehops] [-tests] [packages ...]
+//	dmacplint [-analyzers maporder,bytehops] [-tests] [-json] [packages ...]
+//
+// With -json, findings are emitted as one indented JSON array on stdout
+// ([] when clean) for CI tooling and editors; the array is byte-identical
+// across runs on an unchanged tree. The exit code contract is unchanged.
 //
 // Packages default to ./... relative to the current directory. Deliberate
 // exceptions are granted inline:
@@ -40,9 +55,10 @@ import (
 
 func main() {
 	var (
-		sel   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
-		docs  = flag.Bool("doc", false, "print each analyzer's documentation and exit")
+		sel     = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		tests   = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		docs    = flag.Bool("doc", false, "print each analyzer's documentation and exit")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -69,11 +85,20 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
-		if d.Fix != nil {
-			fmt.Printf("\tsuggested fix (%s):\n\t%s\n",
-				d.Fix.Message, strings.ReplaceAll(d.Fix.Replacement, "\n", "\n\t"))
+	if *jsonOut {
+		out, err := analysis.DiagnosticsJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmacplint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			if d.Fix != nil {
+				fmt.Printf("\tsuggested fix (%s):\n\t%s\n",
+					d.Fix.Message, strings.ReplaceAll(d.Fix.Replacement, "\n", "\n\t"))
+			}
 		}
 	}
 	if len(diags) > 0 {

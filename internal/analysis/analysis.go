@@ -17,6 +17,19 @@
 //     a struct field, so a repair deadline cannot outlive its call
 //     (ctxdiscipline).
 //
+// Three further analyzers are interprocedural: they compose on the
+// module-wide call graph and bottom-up per-function summaries exposed
+// through the Pass-visible Facts API (callgraph.go, summary.go, facts.go):
+//
+//   - nondeterministic order, unseeded randomness and laundered wall-clock
+//     seeds must not flow across call boundaries into the emission path
+//     (detflow);
+//   - the module's mutex-acquisition-order graph must be acyclic, and no
+//     lock may be held across a par.ForEach/sim.RunCtx fan-out (lockorder);
+//   - values published for concurrent read (mesh.DistanceTable,
+//     core.Schedule, plus any type annotated //lint:dmacp-frozen) must not
+//     be mutated outside their declaring package (frozenstate).
+//
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic, testdata fixtures with `// want` expectations) but is built
 // entirely on the standard library's go/ast, go/types and go/importer so the
@@ -51,6 +64,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects a package and reports findings through the pass.
 	Run func(*Pass)
+	// NeedsFacts marks interprocedural analyzers: when any selected
+	// analyzer sets it, Run computes module-wide Facts once and hands them
+	// to every pass.
+	NeedsFacts bool
 }
 
 // A Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -77,6 +94,10 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Facts holds the module-wide interprocedural results (call graph,
+	// summaries, precomputed findings). Nil unless some selected analyzer
+	// declares NeedsFacts.
+	Facts *Facts
 
 	diags  []Diagnostic
 	allows allowIndex
@@ -107,7 +128,10 @@ func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...a
 
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, ParOwnership, SeedDiscipline, ByteHops, CtxDiscipline}
+	return []*Analyzer{
+		MapOrder, ParOwnership, SeedDiscipline, ByteHops, CtxDiscipline,
+		DetFlow, LockOrder, FrozenState,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" means all).
@@ -144,12 +168,19 @@ func names(as []*Analyzer) string {
 // analyzer name or reason) are reported as findings of the pseudo-analyzer
 // "allowlist" so they cannot silently rot.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var facts *Facts
+	for _, a := range analyzers {
+		if a.NeedsFacts {
+			facts = ComputeFacts(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allows, bad := collectAllows(pkg)
 		diags = append(diags, bad...)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, allows: allows}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, allows: allows}
 			a.Run(pass)
 			diags = append(diags, pass.diags...)
 		}
@@ -174,7 +205,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 type allowDirective struct {
 	analyzer string // "*" matches every analyzer
 	line     int    // line the directive suppresses (its own line)
-	ownLine  bool   // directive stands alone, so it also covers line+1
+	target   int    // additional covered line: for an own-line directive,
+	// the first following line that is not itself an own-line directive,
+	// so directives for two analyzers can be stacked above one statement
 }
 
 // allowIndex maps filename -> directives in that file.
@@ -185,7 +218,7 @@ func (ai allowIndex) allowed(analyzer string, pos token.Position) bool {
 		if d.analyzer != "*" && d.analyzer != analyzer {
 			continue
 		}
-		if d.line == pos.Line || (d.ownLine && d.line+1 == pos.Line) {
+		if d.line == pos.Line || d.target == pos.Line {
 			return true
 		}
 	}
@@ -194,11 +227,26 @@ func (ai allowIndex) allowed(analyzer string, pos token.Position) bool {
 
 var allowRE = regexp.MustCompile(`^//lint:dmacp-allow(?:\s+(\S+))?(?:\s+(.*\S))?\s*$`)
 
+// knownDirectiveAnalyzers is the set of names an allow directive may
+// reference: every registered analyzer, the allowlist pseudo-analyzer, and
+// the wildcard.
+func knownDirectiveAnalyzers() map[string]bool {
+	known := map[string]bool{"*": true, "allowlist": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
 // collectAllows scans a package's comments for allow directives. A directive
-// on its own line suppresses matching findings on the next line; a trailing
-// directive suppresses findings on its own line.
+// on its own line suppresses matching findings on the next line (chaining
+// past further stacked own-line directives); a trailing directive
+// suppresses findings on its own line. A directive naming an analyzer that
+// does not exist is itself a finding — a typo must not silently grant an
+// exemption.
 func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 	idx := make(allowIndex)
+	known := knownDirectiveAnalyzers()
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		// Record which lines hold non-comment code, to distinguish
@@ -217,6 +265,8 @@ func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 			codeLines[pkg.Fset.Position(n.Pos()).Line] = true
 			return true
 		})
+		var directives []allowDirective
+		ownLine := make(map[int]bool)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, "//lint:dmacp-allow") {
@@ -232,12 +282,37 @@ func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 					})
 					continue
 				}
-				idx[pos.Filename] = append(idx[pos.Filename], allowDirective{
-					analyzer: m[1],
-					line:     pos.Line,
-					ownLine:  !codeLines[pos.Line],
-				})
+				if !known[m[1]] {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allowlist",
+						Message: fmt.Sprintf("allow directive names unknown analyzer %q (have %s)",
+							m[1], names(All())),
+					})
+					continue
+				}
+				d := allowDirective{analyzer: m[1], line: pos.Line, target: pos.Line}
+				if !codeLines[pos.Line] {
+					ownLine[pos.Line] = true
+				}
+				directives = append(directives, d)
 			}
+		}
+		// Resolve own-line targets: skip forward past any stacked
+		// own-line directives to the statement they all cover.
+		for i := range directives {
+			if !ownLine[directives[i].line] {
+				continue
+			}
+			t := directives[i].line + 1
+			for ownLine[t] {
+				t++
+			}
+			directives[i].target = t
+		}
+		if len(directives) > 0 {
+			fname := pkg.Fset.Position(f.Pos()).Filename
+			idx[fname] = append(idx[fname], directives...)
 		}
 	}
 	return idx, bad

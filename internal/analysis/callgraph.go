@@ -1,0 +1,507 @@
+package analysis
+
+// The module-wide call graph is the foundation of the interprocedural
+// analyzers (detflow, lockorder, frozenstate): one deterministic node per
+// function declaration or function literal in the loaded packages, with
+// three edge classes of decreasing precision:
+//
+//   - static: direct calls to a named function/method and calls of a
+//     function literal in call position — always taken;
+//   - interface: a method call through an interface value fans out to every
+//     loaded concrete method implementing it — maybe taken;
+//   - indirect: a call through a function value (variable, field, parameter)
+//     fans out to every address-taken function with an assignable signature —
+//     conservatively taken.
+//
+// Summary propagation (summary.go) walks static edges only, so a taint or
+// lock fact is never invented by the conservative edge classes; the wider
+// edges exist so clients (and the call-graph tests) can ask reachability
+// questions with the conservative answer. Node IDs are types.Func full names
+// (literals: "lit@file:line:col" relative to the module), and every edge
+// list is sorted, so graph iteration order — and therefore every diagnostic
+// derived from it — is byte-identical across runs.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A FuncNode is one function declaration or function literal in the graph.
+type FuncNode struct {
+	// ID is the deterministic node key: the types.Func full name for
+	// declarations ("dmacp/internal/core.Partition",
+	// "(*dmacp/internal/mesh.FaultSet).KillLink"), or "lit@file:line:col"
+	// for function literals.
+	ID string
+	// Obj is the declared function object; nil for literals.
+	Obj *types.Func
+	// Pkg is the loaded package the function's body lives in.
+	Pkg *Package
+	// Decl / Lit hold the syntax; exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Static, Interface and Indirect are the sorted, deduplicated callee ID
+	// lists per edge class.
+	Static    []string
+	Interface []string
+	Indirect  []string
+	// CallsUnknown records that some call could not be resolved to any node
+	// (external function values); analyzers treat such calls as effect-free
+	// rather than inventing findings.
+	CallsUnknown bool
+
+	// params are the flat parameter objects (receiver first for methods),
+	// used by the mutation summaries to map arguments across calls.
+	params []types.Object
+}
+
+// Body returns the function's body block.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// A CallGraph is the module-wide graph over every loaded package.
+type CallGraph struct {
+	nodes map[string]*FuncNode
+	order []string // sorted node IDs, the canonical iteration order
+	// byObj / byLit resolve a function object or literal to its node ID.
+	byObj map[*types.Func]string
+	byLit map[*ast.FuncLit]string
+	fset  *token.FileSet
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *CallGraph) Node(id string) *FuncNode { return g.nodes[id] }
+
+// NodeForFunc returns the node for a declared function object, or nil when
+// the function's body is not in a loaded package (external/bodyless).
+func (g *CallGraph) NodeForFunc(obj *types.Func) *FuncNode {
+	if id, ok := g.idForFunc(obj); ok {
+		return g.nodes[id]
+	}
+	return nil
+}
+
+// idForFunc resolves a function object to its node ID. Each package is
+// type-checked against export data, so a cross-package reference yields a
+// different *types.Func pointer than the source-checked object the node
+// was built from; the textual full name bridges the two.
+func (g *CallGraph) idForFunc(obj *types.Func) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	if id, ok := g.byObj[obj]; ok {
+		return id, true
+	}
+	id := obj.FullName()
+	_, ok := g.nodes[id]
+	return id, ok
+}
+
+// Order returns the sorted node IDs.
+func (g *CallGraph) Order() []string { return g.order }
+
+// Callees returns a node's callees across the requested edge classes,
+// sorted and deduplicated.
+func (g *CallGraph) Callees(id string, static, iface, indirect bool) []string {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	var out []string
+	if static {
+		out = append(out, n.Static...)
+	}
+	if iface {
+		out = append(out, n.Interface...)
+	}
+	if indirect {
+		out = append(out, n.Indirect...)
+	}
+	sort.Strings(out)
+	return dedupSorted(out)
+}
+
+// Dump renders the graph deterministically, one "class callee" line per
+// edge under each caller, for tests and debugging.
+func (g *CallGraph) Dump() string {
+	var b strings.Builder
+	for _, id := range g.order {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "%s\n", id)
+		for _, c := range n.Static {
+			fmt.Fprintf(&b, "  static %s\n", c)
+		}
+		for _, c := range n.Interface {
+			fmt.Fprintf(&b, "  interface %s\n", c)
+		}
+		for _, c := range n.Indirect {
+			fmt.Fprintf(&b, "  indirect %s\n", c)
+		}
+	}
+	return b.String()
+}
+
+// litID builds a literal node's ID from its position, module-relative so the
+// graph dump is stable across checkouts.
+func litID(fset *token.FileSet, pkg *Package, pos token.Pos) string {
+	p := fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(pkg.Dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = pkg.ImportPath + "/" + filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("lit@%s:%d:%d", file, p.Line, p.Column)
+}
+
+// flatParams collects the receiver (methods) and parameters of a function
+// node, in declaration order.
+func flatParams(info *types.Info, n *FuncNode) []types.Object {
+	var objs []types.Object
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				objs = append(objs, nil) // unnamed: never written, keep the slot
+				continue
+			}
+			for _, name := range field.Names {
+				objs = append(objs, info.Defs[name])
+			}
+		}
+	}
+	if n.Decl != nil {
+		add(n.Decl.Recv)
+		add(n.Decl.Type.Params)
+	} else {
+		add(n.Lit.Type.Params)
+	}
+	return objs
+}
+
+// rawEdges accumulates one caller's unresolved callee sites during pass 2.
+type rawEdges struct {
+	static   map[string]bool
+	ifaceSel []*ast.SelectorExpr // interface-dispatch sites, resolved in pass 3
+	indirect []types.Type        // function value type at each indirect site (nil = unknown)
+	unknown  bool
+}
+
+// buildCallGraph constructs the module-wide graph over the loaded packages.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes: make(map[string]*FuncNode),
+		byObj: make(map[*types.Func]string),
+		byLit: make(map[*ast.FuncLit]string),
+	}
+	if len(pkgs) == 0 {
+		return g
+	}
+	g.fset = pkgs[0].Fset
+
+	// Pass 1: create nodes for every declaration and literal.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch d := nd.(type) {
+				case *ast.FuncDecl:
+					obj, _ := pkg.TypesInfo.Defs[d.Name].(*types.Func)
+					if obj == nil || d.Body == nil {
+						return true
+					}
+					n := &FuncNode{ID: obj.FullName(), Obj: obj, Pkg: pkg, Decl: d}
+					n.params = flatParams(pkg.TypesInfo, n)
+					g.nodes[n.ID] = n
+					g.byObj[obj] = n.ID
+				case *ast.FuncLit:
+					n := &FuncNode{ID: litID(g.fset, pkg, d.Pos()), Pkg: pkg, Lit: d}
+					n.params = flatParams(pkg.TypesInfo, n)
+					g.nodes[n.ID] = n
+					g.byLit[d] = n.ID
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: classify every call into its innermost enclosing function node
+	// and collect address-taken functions (named functions referenced outside
+	// call position, and every literal not immediately called).
+	edges := make(map[string]*rawEdges)
+	addrTaken := make(map[string]bool)
+	concrete := collectNamedTypes(pkgs)
+
+	for _, pkg := range pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			// Call-position expressions (to separate f() from the value f)
+			// and selector Sel idents (handled via their SelectorExpr).
+			callFuns := make(map[ast.Expr]bool)
+			selSels := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch e := nd.(type) {
+				case *ast.CallExpr:
+					callFuns[ast.Unparen(e.Fun)] = true
+				case *ast.SelectorExpr:
+					selSels[e.Sel] = true
+				}
+				return true
+			})
+
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch e := nd.(type) {
+				case *ast.FuncLit:
+					if !callFuns[e] {
+						addrTaken[g.byLit[e]] = true
+					}
+				case *ast.Ident:
+					if selSels[e] || callFuns[e] {
+						return true
+					}
+					if fn, ok := info.Uses[e].(*types.Func); ok {
+						if id, ok := g.idForFunc(fn); ok {
+							addrTaken[id] = true
+						}
+					}
+				case *ast.SelectorExpr:
+					if callFuns[e] {
+						return true
+					}
+					if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+						// Method value or package-qualified function value.
+						if id, ok := g.idForFunc(fn); ok {
+							addrTaken[id] = true
+						}
+					}
+				}
+				return true
+			})
+
+			var walkBody func(owner string, body *ast.BlockStmt)
+			walkBody = func(owner string, body *ast.BlockStmt) {
+				ev := edges[owner]
+				if ev == nil {
+					ev = &rawEdges{static: make(map[string]bool)}
+					edges[owner] = ev
+				}
+				ast.Inspect(body, func(nd ast.Node) bool {
+					switch e := nd.(type) {
+					case *ast.FuncLit:
+						walkBody(g.byLit[e], e.Body)
+						return false
+					case *ast.CallExpr:
+						classifyCall(g, info, ev, e)
+					}
+					return true
+				})
+			}
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch d := nd.(type) {
+				case *ast.FuncDecl:
+					if obj, _ := info.Defs[d.Name].(*types.Func); obj != nil && d.Body != nil {
+						walkBody(obj.FullName(), d.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					// Literal outside any declaration (package-level var
+					// initializer): its own node owns its calls.
+					walkBody(g.byLit[d], d.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: resolve interface-dispatch sites against the loaded method
+	// sets and indirect sites against the address-taken set, then freeze
+	// every edge list sorted.
+	taken := make([]string, 0, len(addrTaken))
+	for id := range addrTaken {
+		taken = append(taken, id)
+	}
+	sort.Strings(taken)
+
+	for id, n := range g.nodes {
+		ev := edges[id]
+		if ev == nil {
+			continue
+		}
+		for s := range ev.static {
+			n.Static = append(n.Static, s)
+		}
+		sort.Strings(n.Static)
+		n.Static = dedupSorted(n.Static)
+		n.CallsUnknown = ev.unknown
+
+		info := n.Pkg.TypesInfo
+		for _, sel := range ev.ifaceSel {
+			tv, ok := info.Types[sel.X]
+			if !ok {
+				continue
+			}
+			iface, ok := tv.Type.Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for _, named := range concrete {
+				ptr := types.NewPointer(named)
+				if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				m, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), sel.Sel.Name)
+				if fn, ok := m.(*types.Func); ok {
+					if cid, ok := g.idForFunc(fn); ok {
+						n.Interface = append(n.Interface, cid)
+					}
+				}
+			}
+		}
+		sort.Strings(n.Interface)
+		n.Interface = dedupSorted(n.Interface)
+
+		for _, ft := range ev.indirect {
+			sig, _ := ft.(*types.Signature)
+			if ft == nil {
+				n.CallsUnknown = true
+			}
+			for _, cid := range taken {
+				cand := g.nodes[cid]
+				if cand == nil {
+					continue
+				}
+				if sig == nil || signatureAssignable(cand, sig) {
+					n.Indirect = append(n.Indirect, cid)
+				}
+			}
+		}
+		sort.Strings(n.Indirect)
+		n.Indirect = dedupSorted(n.Indirect)
+	}
+
+	g.order = make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		g.order = append(g.order, id)
+	}
+	sort.Strings(g.order)
+	return g
+}
+
+// classifyCall records one call expression into the caller's raw edge set.
+func classifyCall(g *CallGraph, info *types.Info, ev *rawEdges, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Conversions and builtins are not calls into the graph.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	switch e := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[e].(type) {
+		case *types.Func:
+			if id, ok := g.idForFunc(obj); ok {
+				ev.static[id] = true
+			}
+		case *types.Builtin, *types.TypeName, nil:
+			// not a graph call
+		default:
+			ev.indirect = append(ev.indirect, typeOf(info, fun))
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: a static edge to its own node.
+		if id, ok := g.byLit[e]; ok {
+			ev.static[id] = true
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[e.Sel].(type) {
+		case *types.Func:
+			if selection, isMethod := info.Selections[e]; isMethod {
+				if _, isIface := selection.Recv().Underlying().(*types.Interface); isIface {
+					ev.ifaceSel = append(ev.ifaceSel, e)
+					return
+				}
+			}
+			if id, ok := g.idForFunc(obj); ok {
+				ev.static[id] = true
+			}
+		case *types.Var:
+			ev.indirect = append(ev.indirect, typeOf(info, fun))
+		}
+	default:
+		ev.indirect = append(ev.indirect, typeOf(info, fun))
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// signatureAssignable reports whether a node's function value (receiver
+// stripped for methods) is assignable to the call site's function type.
+func signatureAssignable(n *FuncNode, want *types.Signature) bool {
+	var sig *types.Signature
+	if n.Obj != nil {
+		sig, _ = n.Obj.Type().(*types.Signature)
+	} else if tv, ok := n.Pkg.TypesInfo.Types[n.Lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	if sig == nil {
+		return true // unknown: stay conservative
+	}
+	value := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.AssignableTo(value, want)
+}
+
+// collectNamedTypes gathers every named (non-interface) type declared in the
+// loaded packages, sorted by full name for deterministic dispatch expansion.
+func collectNamedTypes(pkgs []*Package) []*types.Named {
+	byName := make(map[string]*types.Named)
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			byName[pkg.ImportPath+"."+name] = named
+		}
+	}
+	keys := make([]string, 0, len(byName))
+	for k := range byName {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*types.Named, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byName[k])
+	}
+	return out
+}
+
+func dedupSorted(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package analysis
+
+// DetFlow is the interprocedural nondeterminism-taint analyzer. Where
+// maporder and seeddiscipline inspect one function at a time, detflow
+// composes on the module-wide call graph and per-function summaries
+// (facts.go) to track nondeterminism across call boundaries:
+//
+// Sources: Go map iteration order (including maps.Keys and data returned by
+// any function whose summary says it collects in map order), the
+// auto-seeded global math/rand source, wall-clock values (time.Now, or any
+// function summarized as returning a clock-derived value — the "seed
+// laundered through a constructor" case), sync.Map.Range callback order,
+// and goroutine completion order (values appended by spawned closures).
+//
+// Sinks: ranging over order-tainted data in an emission-path package, and
+// seeding or drawing randomness anywhere outside _test.go files.
+//
+// The collect-then-sort idiom launders the taint: sort.*/slices.Sort* (and
+// slices.Sorted*) clear it, exactly as maporder sanctions syntactically.
+// Cross-package calls into functions that transitively draw unseeded
+// randomness are reported at the boundary call site, so a helper package
+// cannot smuggle the global source past seeddiscipline.
+
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "interprocedural nondeterminism taint: map order, unseeded randomness and " +
+		"wall-clock seeds must not flow across call boundaries into emitted output",
+	Run:        runDetFlow,
+	NeedsFacts: true,
+}
+
+func runDetFlow(pass *Pass) {
+	reportFindings(pass)
+}
+
+// reportFindings relays the precomputed interprocedural findings that fall
+// in this pass's package through the allowlist-aware reporter.
+func reportFindings(pass *Pass) {
+	if pass.Facts == nil {
+		return
+	}
+	for _, f := range pass.Facts.FindingsFor(pass.Analyzer.Name, pass.Pkg) {
+		pass.Reportf(f.Pos, "%s", f.Message)
+	}
+}

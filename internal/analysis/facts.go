@@ -1,0 +1,288 @@
+package analysis
+
+// Facts is the module-wide result of the interprocedural core: the call
+// graph, the per-function summaries, the frozen-type registry, and the
+// precomputed findings of the three interprocedural analyzers (detflow,
+// lockorder, frozenstate). It is computed once per Run over every loaded
+// package and handed to each Pass, so analyzers compose on summaries
+// instead of re-walking every AST per package.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one interprocedural diagnostic, precomputed during
+// ComputeFacts and later filtered per analyzer and per package.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Facts exposes the interprocedural analysis results to passes.
+type Facts struct {
+	// Graph is the deterministic module-wide call graph.
+	Graph *CallGraph
+
+	summaries map[string]*Summary
+	frozen    map[string]string // "pkgpath.Name" -> declaring package path
+	findings  []Finding
+	owner     map[string]*Package
+}
+
+// SummaryFor returns the summary of the function with the given graph node
+// ID, or an empty summary if unknown.
+func (f *Facts) SummaryFor(id string) *Summary {
+	if s, ok := f.summaries[id]; ok {
+		return s
+	}
+	return newSummary()
+}
+
+// SummaryForFunc returns the summary of a declared function or method.
+func (f *Facts) SummaryForFunc(obj *types.Func) *Summary {
+	if n := f.Graph.NodeForFunc(obj); n != nil {
+		return f.SummaryFor(n.ID)
+	}
+	return newSummary()
+}
+
+// FrozenTypes returns the sorted "pkgpath.Name" keys of all registered
+// frozen types (built-ins plus //lint:dmacp-frozen annotations).
+func (f *Facts) FrozenTypes() []string {
+	out := make([]string, 0, len(f.frozen))
+	for key := range f.frozen {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindingsFor returns the precomputed findings of one analyzer that are
+// positioned in files owned by pkg, in source order.
+func (f *Facts) FindingsFor(analyzer string, pkg *Package) []Finding {
+	var out []Finding
+	for _, fd := range f.findings {
+		if fd.Analyzer != analyzer {
+			continue
+		}
+		file := pkg.Fset.Position(fd.Pos).Filename
+		if f.owner[file] == pkg {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// frozenBuiltins are the types frozen by default: published once for
+// concurrent read, mutated never (outside their declaring package).
+var frozenBuiltins = map[string]bool{
+	"dmacp/internal/mesh.DistanceTable": true,
+	"dmacp/internal/core.Schedule":      true,
+}
+
+const frozenDirective = "//lint:dmacp-frozen"
+
+// ComputeFacts builds the call graph, runs the bottom-up summary fixpoint,
+// and performs the reporting walk plus lock-order cycle detection over all
+// loaded packages.
+func ComputeFacts(pkgs []*Package) *Facts {
+	g := buildCallGraph(pkgs)
+	frozen := collectFrozen(pkgs)
+	sums := computeSummaries(g, frozen)
+	f := &Facts{
+		Graph:     g,
+		summaries: sums,
+		frozen:    frozen,
+		owner:     map[string]*Package{},
+	}
+	for _, pkg := range pkgs {
+		for _, name := range pkg.FileNames {
+			f.owner[filepath.Join(pkg.Dir, name)] = pkg
+		}
+	}
+
+	empty := newSummary()
+	get := func(id string) *Summary {
+		if s, ok := sums[id]; ok {
+			return s
+		}
+		return empty
+	}
+	emit := func(analyzer string, pos token.Pos, format string, args ...any) {
+		f.findings = append(f.findings, Finding{
+			Analyzer: analyzer,
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, id := range g.Order() {
+		n := g.Node(id)
+		body := n.Body()
+		if body == nil || isTestFile(n.Pkg.Fset, body.Pos()) {
+			continue
+		}
+		newFuncWalker(g, n, get, frozen, emit).run()
+	}
+	f.findLockCycles(g, sums, emit)
+	return f
+}
+
+// collectFrozen registers the built-in frozen types plus every type whose
+// declaration carries a //lint:dmacp-frozen directive. The registry is
+// keyed by "pkgpath.Name" rather than type identity, because each package
+// is type-checked against export data: the same declared type surfaces as
+// distinct *types.TypeName objects in its declaring and importing
+// packages.
+func collectFrozen(pkgs []*Package) map[string]string {
+	frozen := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if _, ok := pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); !ok {
+						continue
+					}
+					key := pkg.ImportPath + "." + ts.Name.Name
+					if frozenBuiltins[key] ||
+						hasFrozenDirective(gd.Doc) || hasFrozenDirective(ts.Doc) || hasFrozenDirective(ts.Comment) {
+						frozen[key] = pkg.ImportPath
+					}
+				}
+			}
+		}
+	}
+	return frozen
+}
+
+func hasFrozenDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, frozenDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// findLockCycles aggregates the lock-order edges of every (non-test)
+// function summary into one module-wide graph and reports each edge that
+// participates in a strongly connected component — i.e. a potential
+// deadlock cycle.
+func (f *Facts) findLockCycles(g *CallGraph, sums map[string]*Summary, emit emitFn) {
+	witness := map[lockPairKey]token.Pos{}
+	var keys []lockPairKey
+	for _, id := range g.Order() {
+		n := g.Node(id)
+		body := n.Body()
+		if body == nil || isTestFile(n.Pkg.Fset, body.Pos()) {
+			continue
+		}
+		s, ok := sums[id]
+		if !ok {
+			continue
+		}
+		for _, k := range sortedPairKeys(s.Pairs) {
+			if _, seen := witness[k]; !seen {
+				witness[k] = s.Pairs[k]
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, k := range keys {
+		adj[k.Held] = append(adj[k.Held], k.Acquired)
+		nodes[k.Held] = true
+		nodes[k.Acquired] = true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan over the lock graph; any SCC of size > 1 is a cycle. (A
+	// self-edge cannot occur: re-acquiring the same key is never paired.)
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	inCycle := map[string]string{} // lock key -> cycle description
+	next := 0
+	var connect func(v string)
+	connect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				desc := strings.Join(scc, " -> ") + " -> " + scc[0]
+				for _, m := range scc {
+					inCycle[m] = desc
+				}
+			}
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			connect(v)
+		}
+	}
+	if len(inCycle) == 0 {
+		return
+	}
+	for _, k := range keys {
+		if desc, ok := inCycle[k.Held]; ok && inCycle[k.Acquired] == desc {
+			emit("lockorder", witness[k],
+				"acquiring %s while holding %s closes a lock-order cycle (%s); acquire locks in one global order to rule out deadlock",
+				k.Acquired, k.Held, desc)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+// Machine-readable diagnostics for cmd/dmacplint -json: a stable, sorted
+// JSON array CI tooling (the GitHub problem matcher, editors) can consume.
+// Run already returns diagnostics in deterministic position order, so the
+// encoded bytes are identical across runs on an unchanged tree.
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// A JSONDiagnostic is the wire form of one finding.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// DiagnosticsJSON encodes diagnostics as an indented JSON array (ending in
+// a newline). An empty diagnostic list encodes as [] rather than null, so
+// consumers can always range over the result.
+func DiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := JSONDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if d.Fix != nil {
+			jd.Fix = d.Fix.Replacement
+		}
+		out = append(out, jd)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,33 @@
+package analysis
+
+// LockOrder builds the module's mutex-acquisition-order graph from the
+// interprocedural summaries (facts.go): an edge A -> B means some function
+// acquires B — directly or via a static callee — while holding A. Two
+// invariants are enforced:
+//
+//   - the graph must be acyclic: any strongly connected component is a
+//     potential deadlock, and every edge inside one is reported at its
+//     witness acquisition site;
+//   - no lock may be held across a worker-pool fan-out (par.ForEach /
+//     sim.RunCtx, direct or transitive): a fan-out under a lock serializes
+//     the pool at best and deadlocks at worst (a worker touching the same
+//     lock waits on the holder, who waits on the pool).
+//
+// Lock identity is structural: a struct-field mutex is keyed by its
+// declaring type ("(exp.Runner).mu"), a package-level mutex by its package
+// path, a local mutex by its enclosing function. RLock counts as an
+// acquisition (RWMutex write-side in another thread still orders it), and
+// a deferred Unlock keeps the lock held to the end of the function, which
+// is exactly what the pairing semantics need.
+
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must be globally acyclic, and no lock may be " +
+		"held across a par.ForEach/sim.RunCtx fan-out",
+	Run:        runLockOrder,
+	NeedsFacts: true,
+}
+
+func runLockOrder(pass *Pass) {
+	reportFindings(pass)
+}

@@ -1,0 +1,1143 @@
+package analysis
+
+// Per-function summaries, computed bottom-up over the call graph's strongly
+// connected components. A summary answers, for one function, the questions
+// the interprocedural analyzers compose on:
+//
+//   - NondetOrder: does it return data whose order derives from Go map
+//     iteration (or sync.Map.Range, or goroutine completion order)?
+//   - Rand: does it (transitively) draw from the auto-seeded global
+//     math/rand source, or seed a generator from the wall clock?
+//   - Clock: does it return a wall-clock-derived value (the "seed laundered
+//     through a constructor" case seeddiscipline cannot see)?
+//   - Locks/Pairs: which mutexes may it acquire, and which does it acquire
+//     while already holding another (the edges of the module's
+//     lock-acquisition-order graph)?
+//   - Boundary: does it (transitively) enter a worker-pool fan-out
+//     (par.ForEach / sim.RunCtx)?
+//   - Mutates: which receiver/parameter pointees does it write through?
+//
+// Propagation follows static call edges only — the conservative interface
+// and function-value edge classes never invent a taint or a lock fact (see
+// callgraph.go). Within an SCC the summaries iterate to a fixpoint, so
+// mutual recursion converges; every set in a summary is sorted before use,
+// keeping diagnostics byte-identical across runs.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A lockPairKey is one edge of the lock-order graph: acquired while held.
+type lockPairKey struct {
+	Held, Acquired string
+}
+
+// A Summary is the interprocedural fact set of one function.
+type Summary struct {
+	NondetOrder bool
+	NondetWhy   string
+	Rand        bool
+	RandWhy     string
+	Clock       bool
+	ClockWhy    string
+	// Locks maps each mutex key this function may acquire (directly or via
+	// static callees) to a witness position.
+	Locks map[string]token.Pos
+	// Pairs are the lock-order edges this function induces: a lock acquired
+	// (directly or via a callee) while another is held.
+	Pairs map[lockPairKey]token.Pos
+	// Boundary names the worker-pool fan-out this function (transitively)
+	// enters, e.g. "par.ForEach" or "sim.RunCtx via exp.Runner.Warm".
+	Boundary string
+	// Mutates maps flat parameter indices (receiver first) whose pointees
+	// the function writes, directly or via callees, to a witness position.
+	Mutates map[int]token.Pos
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Locks:   map[string]token.Pos{},
+		Pairs:   map[lockPairKey]token.Pos{},
+		Mutates: map[int]token.Pos{},
+	}
+}
+
+// sig serializes the convergence-relevant parts of a summary; the fixpoint
+// loop stops when a pass leaves every sig unchanged.
+func (s *Summary) sig() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%v|%s|", s.NondetOrder, s.Rand, s.Clock, s.Boundary)
+	for _, k := range sortedKeys(s.Locks) {
+		b.WriteString(k + ";")
+	}
+	b.WriteString("|")
+	for _, k := range sortedPairKeys(s.Pairs) {
+		fmt.Fprintf(&b, "%s>%s;", k.Held, k.Acquired)
+	}
+	b.WriteString("|")
+	for _, i := range sortedIntKeys(s.Mutates) {
+		fmt.Fprintf(&b, "%d;", i)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPairKeys(m map[lockPairKey]token.Pos) []lockPairKey {
+	out := make([]lockPairKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Held != out[j].Held {
+			return out[i].Held < out[j].Held
+		}
+		return out[i].Acquired < out[j].Acquired
+	})
+	return out
+}
+
+func sortedIntKeys(m map[int]token.Pos) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+var pathPrefixRE = regexp.MustCompile(`([\w.~-]+/)+`)
+
+// shortID strips import-path prefixes from a node ID for messages:
+// "(*dmacp/internal/mesh.FaultSet).KillLink" -> "(*mesh.FaultSet).KillLink".
+func shortID(id string) string {
+	return pathPrefixRE.ReplaceAllString(id, "")
+}
+
+// posString renders a witness position compactly (base filename:line).
+func posString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// tarjanSCC returns the graph's strongly connected components over static
+// edges, callees-first (reverse topological order of the condensation),
+// with deterministic traversal order.
+func tarjanSCC(g *CallGraph) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		if n := g.Node(v); n != nil {
+			for _, w := range n.Static {
+				if g.Node(w) == nil {
+					continue
+				}
+				if _, seen := index[w]; !seen {
+					strongconnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range g.Order() {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// computeSummaries runs the bottom-up fixpoint over SCCs.
+func computeSummaries(g *CallGraph, frozen map[string]string) map[string]*Summary {
+	sums := make(map[string]*Summary, len(g.Order()))
+	empty := newSummary()
+	get := func(id string) *Summary {
+		if s, ok := sums[id]; ok {
+			return s
+		}
+		return empty
+	}
+	for _, scc := range tarjanSCC(g) {
+		selfRecursive := len(scc) > 1
+		if !selfRecursive {
+			n := g.Node(scc[0])
+			for _, c := range n.Static {
+				if c == scc[0] {
+					selfRecursive = true
+					break
+				}
+			}
+		}
+		for iter := 0; ; iter++ {
+			changed := false
+			for _, id := range scc {
+				w := newFuncWalker(g, g.Node(id), get, frozen, nil)
+				ns := w.run()
+				if old, ok := sums[id]; !ok || old.sig() != ns.sig() {
+					sums[id] = ns
+					changed = true
+				}
+			}
+			if !changed || !selfRecursive || iter > 2*len(scc)+4 {
+				break
+			}
+		}
+	}
+	return sums
+}
+
+// A heldLock is one mutex currently held during the linear walk.
+type heldLock struct {
+	key  string
+	site token.Pos
+}
+
+// emitFn receives one interprocedural finding during the reporting walk.
+type emitFn func(analyzer string, pos token.Pos, format string, args ...any)
+
+// funcWalker performs the linear, source-order walk of one function body
+// that both the summary fixpoint and the reporting pass share. Statement
+// order approximates execution order — the usual linter trade; the
+// //lint:dmacp-allow escape hatch covers code that outsmarts it.
+type funcWalker struct {
+	g      *CallGraph
+	n      *FuncNode
+	info   *types.Info
+	fset   *token.FileSet
+	get    func(string) *Summary
+	frozen map[string]string
+	emit   emitFn // nil during the fixpoint
+
+	sum    *Summary
+	params map[types.Object]int
+	taintN map[types.Object]string // nondet-order taint
+	taintC map[types.Object]string // wall-clock taint
+	held   []heldLock
+}
+
+func newFuncWalker(g *CallGraph, n *FuncNode, get func(string) *Summary,
+	frozen map[string]string, emit emitFn) *funcWalker {
+	w := &funcWalker{
+		g: g, n: n, info: n.Pkg.TypesInfo, fset: n.Pkg.Fset,
+		get: get, frozen: frozen, emit: emit,
+		sum:    newSummary(),
+		params: map[types.Object]int{},
+		taintN: map[types.Object]string{},
+		taintC: map[types.Object]string{},
+	}
+	for i, obj := range n.params {
+		if obj != nil {
+			w.params[obj] = i
+		}
+	}
+	return w
+}
+
+func (w *funcWalker) run() *Summary {
+	if body := w.n.Body(); body != nil {
+		w.walkStmts(body.List)
+	}
+	return w.sum
+}
+
+func (w *funcWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *funcWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, ok := w.mutexOp(st.X, "Lock"); ok {
+			w.acquire(key, st.X.Pos())
+			return
+		}
+		if key, ok := w.mutexOp(st.X, "Unlock"); ok {
+			w.release(key)
+			return
+		}
+		if w.sortStmt(st.X) {
+			return
+		}
+		w.scanExpr(st.X)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.scanExpr(rhs)
+		}
+		w.assign(st.Lhs, st.Rhs, st.Tok == token.DEFINE, st.Pos())
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.scanExpr(v)
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				w.assign(lhs, vs.Values, true, st.Pos())
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(st.X)
+		w.checkWrite(st.X, st.Pos())
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scanExpr(e)
+			if why, ok := w.nondetExpr(e); ok && !w.sum.NondetOrder {
+				w.sum.NondetOrder = true
+				w.sum.NondetWhy = why
+			}
+			if why, ok := w.clockExpr(e); ok && !w.sum.Clock {
+				w.sum.Clock = true
+				w.sum.ClockWhy = why
+			}
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(st.X)
+		if why, ok := w.nondetExpr(st.X); ok && onEmissionPath(w.n.Pkg.ImportPath) {
+			w.report("detflow", st.For,
+				"range over nondeterministically ordered data: %s; sort it (or make the body order-insensitive) before iterating on the emission path", why)
+		}
+		if st.Tok == token.ASSIGN {
+			w.checkWrite(st.Key, st.Pos())
+			if st.Value != nil {
+				w.checkWrite(st.Value, st.Pos())
+			}
+		}
+		w.walkStmts(st.Body.List)
+		if w.isMapExpr(st.X) {
+			w.taintCollectors(st.Body, fmt.Sprintf(
+				"collects entries of a map range (%s) in iteration order", posString(w.fset, st.For)))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond)
+		}
+		w.walkStmts(st.Body.List)
+		if st.Post != nil {
+			w.walkStmt(st.Post)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.scanExpr(st.Cond)
+		w.walkStmts(st.Body.List)
+		if st.Else != nil {
+			w.walkStmt(st.Else)
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.GoStmt:
+		// The goroutine's effects are unordered with respect to this
+		// function; its lock and rand facts belong to its own node. What
+		// does leak back is completion order: values collected by the
+		// spawned closure become nondeterministically ordered here.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.taintCollectors(lit.Body, "appended by a spawned goroutine (completion order is nondeterministic)")
+		}
+		for _, a := range st.Call.Args {
+			w.scanExpr(a)
+		}
+	case *ast.DeferStmt:
+		if _, ok := w.mutexOp(st.Call, "Unlock"); ok {
+			// defer mu.Unlock(): the lock stays held to function end,
+			// which is exactly how the pair generation should see it.
+			return
+		}
+		w.scanExpr(st.Call)
+	case *ast.SendStmt:
+		w.scanExpr(st.Chan)
+		w.scanExpr(st.Value)
+	}
+}
+
+// scanExpr visits every call in an expression (skipping nested function
+// literal bodies, which are their own graph nodes) and applies the
+// interprocedural call effects.
+func (w *funcWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch c := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.handleCall(c)
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's effects: lock merging, boundary crossing,
+// randomness, mutation propagation and frozen-argument checks.
+func (w *funcWalker) handleCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := w.info.Types[fun]; ok && tv.IsType() {
+		return // conversion
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		obj := w.info.Uses[sel.Sel]
+		if obj != nil && obj.Pkg() != nil && isMathRand(obj.Pkg().Path()) {
+			name := obj.Name()
+			if isGlobalSourceFunc(w.info, sel, name) && !w.sum.Rand {
+				w.sum.Rand = true
+				w.sum.RandWhy = fmt.Sprintf("calls math/rand.%s, which draws from the auto-seeded global source (%s)",
+					name, posString(w.fset, call.Pos()))
+			}
+			if name == "New" || name == "NewSource" || name == "Seed" || name == "NewPCG" || name == "NewChaCha8" {
+				for _, arg := range call.Args {
+					if why, ok := w.clockExpr(arg); ok {
+						if !w.sum.Rand {
+							w.sum.Rand = true
+							w.sum.RandWhy = "seeds a generator from the wall clock: " + why
+						}
+						w.report("detflow", arg.Pos(),
+							"seed derived from the wall clock: %s; thread an explicit int64 seed instead so runs replay", why)
+					}
+				}
+			}
+		}
+		// sync.Map.Range: the callback observes nondeterministic order.
+		if sel.Sel.Name == "Range" && w.isSyncMap(sel.X) {
+			if len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					w.taintCollectors(lit.Body, fmt.Sprintf(
+						"collects entries from sync.Map.Range (%s), whose iteration order is nondeterministic", posString(w.fset, call.Pos())))
+				}
+			}
+		}
+	}
+
+	// The fan-out boundary check needs only the callee *object*: par.ForEach
+	// and sim.RunCtx are recognized by path+signature even when their source
+	// package is not loaded (fixture runs load one fixture tree only).
+	obj := calleeFuncObj(w.info, fun)
+	callee := w.staticCallee(fun)
+	var cs *Summary
+	if callee != nil {
+		cs = w.get(callee.ID)
+	} else {
+		cs = newSummary()
+	}
+
+	// Lock effects: everything the callee may acquire is acquired here,
+	// while whatever we hold is held.
+	for _, a := range sortedKeys(cs.Locks) {
+		for _, h := range w.held {
+			if h.key != a {
+				w.addPair(h.key, a, call.Pos())
+			}
+		}
+		if _, ok := w.sum.Locks[a]; !ok {
+			w.sum.Locks[a] = call.Pos()
+		}
+	}
+
+	// Fan-out boundary: direct or via the callee's summary.
+	boundary := boundaryName(obj)
+	if boundary == "" && cs.Boundary != "" {
+		boundary = cs.Boundary + " via " + shortID(callee.ID)
+	}
+	if boundary != "" {
+		if w.sum.Boundary == "" {
+			w.sum.Boundary = boundary
+		}
+		for _, h := range w.held {
+			w.report("lockorder", call.Pos(),
+				"lock %s (acquired %s) is held across %s; a worker-pool fan-out must not run under a lock — release it first or move the fan-out out of the critical section",
+				h.key, posString(w.fset, h.site), boundary)
+		}
+	}
+	if callee == nil {
+		return
+	}
+
+	// Randomness: transitive draw from the global source or a clock seed.
+	if cs.Rand {
+		if !w.sum.Rand {
+			w.sum.Rand = true
+			w.sum.RandWhy = fmt.Sprintf("calls %s, which %s", shortID(callee.ID), cs.RandWhy)
+		}
+		if callee.Pkg != w.n.Pkg {
+			w.report("detflow", call.Pos(),
+				"call to %s transitively draws unseeded randomness: it %s; thread an explicitly seeded *rand.Rand through instead",
+				shortID(callee.ID), cs.RandWhy)
+		}
+	}
+
+	// Mutation propagation and frozen-argument checks.
+	if len(cs.Mutates) > 0 {
+		recvOffset := 0
+		if callee.Obj != nil {
+			if sig, ok := callee.Obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recvOffset = 1
+			}
+		}
+		for _, idx := range sortedIntKeys(cs.Mutates) {
+			var arg ast.Expr
+			if recvOffset == 1 && idx == 0 {
+				if sel, ok := fun.(*ast.SelectorExpr); ok {
+					arg = sel.X
+				}
+			} else if ai := idx - recvOffset; ai >= 0 && ai < len(call.Args) {
+				arg = call.Args[ai]
+			}
+			if arg == nil {
+				continue
+			}
+			if tn, declPkg := w.frozenType(arg); tn != nil && callee.Pkg.ImportPath != declPkg && w.escapedRoot(arg) {
+				w.report("frozenstate", call.Pos(),
+					"%s is passed to %s, which mutates it (%s); %s is frozen after publication and may only be mutated by package %s",
+					tn.Name(), shortID(callee.ID), posString(w.fset, cs.Mutates[idx]), tn.Name(), declPkg)
+			}
+			if root := exprRoot(w.info, arg); root != nil {
+				if pi, ok := w.params[root]; ok {
+					if _, seen := w.sum.Mutates[pi]; !seen {
+						w.sum.Mutates[pi] = call.Pos()
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeFuncObj resolves a call's target to its declared function object —
+// loaded or not — or nil for literals, indirect calls and interface
+// dispatch.
+func calleeFuncObj(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			if selection, isMethod := info.Selections[e]; isMethod {
+				if _, isIface := selection.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+			}
+			return fn
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves a call expression to its loaded static callee node,
+// or nil (external, builtin, indirect, interface dispatch).
+func (w *funcWalker) staticCallee(fun ast.Expr) *FuncNode {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := w.info.Uses[e].(*types.Func); ok {
+			return w.g.NodeForFunc(fn)
+		}
+	case *ast.FuncLit:
+		if id, ok := w.g.byLit[e]; ok {
+			return w.g.Node(id)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.info.Uses[e.Sel].(*types.Func); ok {
+			if selection, isMethod := w.info.Selections[e]; isMethod {
+				if _, isIface := selection.Recv().Underlying().(*types.Interface); isIface {
+					return nil // dispatch: conservative edges only
+				}
+			}
+			return w.g.NodeForFunc(fn)
+		}
+	}
+	return nil
+}
+
+// acquire records a lock acquisition: pairs against everything held, then
+// pushes the lock.
+func (w *funcWalker) acquire(key string, pos token.Pos) {
+	for _, h := range w.held {
+		if h.key != key {
+			w.addPair(h.key, key, pos)
+		}
+	}
+	w.held = append(w.held, heldLock{key: key, site: pos})
+	if _, ok := w.sum.Locks[key]; !ok {
+		w.sum.Locks[key] = pos
+	}
+}
+
+func (w *funcWalker) release(key string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].key == key {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *funcWalker) addPair(held, acquired string, pos token.Pos) {
+	k := lockPairKey{Held: held, Acquired: acquired}
+	if _, ok := w.sum.Pairs[k]; !ok {
+		w.sum.Pairs[k] = pos
+	}
+}
+
+// mutexOp reports whether expr is a Lock/RLock (name "Lock") or
+// Unlock/RUnlock (name "Unlock") call on a sync.Mutex/RWMutex, returning
+// the lock's stable key.
+func (w *funcWalker) mutexOp(expr ast.Expr, name string) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if !isMutexCall(w.info, call, name) {
+		return "", false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return w.lockKey(sel.X), true
+}
+
+// lockKey derives a stable identity for a mutex expression: a struct field
+// is keyed by its declaring type ("(exp.Runner).mu"), a package-level var by
+// its package path, a local by its enclosing function node.
+func (w *funcWalker) lockKey(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if obj := w.info.Uses[sel.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				if tv, ok := w.info.Types[sel.X]; ok {
+					t := tv.Type
+					if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						t = p.Elem()
+					}
+					if named, ok := t.(*types.Named); ok {
+						return fmt.Sprintf("(%s).%s", shortID(named.Obj().Pkg().Path()+"."+named.Obj().Name()), v.Name())
+					}
+				}
+				return v.Name()
+			}
+			return lockVarKey(obj, w.n)
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := w.info.Uses[id]; obj != nil {
+			return lockVarKey(obj, w.n)
+		}
+	}
+	return "<mutex>"
+}
+
+func lockVarKey(obj types.Object, n *FuncNode) string {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return shortID(obj.Pkg().Path() + "." + obj.Name())
+	}
+	return shortID(n.ID) + "." + obj.Name()
+}
+
+// boundaryName reports whether obj is a worker-pool fan-out entry point:
+// any internal/par function taking a function parameter, or sim.RunCtx.
+func boundaryName(obj *types.Func) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if strings.HasSuffix(path, "internal/par") {
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if _, isFunc := sig.Params().At(i).Type().Underlying().(*types.Signature); isFunc {
+				return "par." + obj.Name()
+			}
+		}
+		return ""
+	}
+	if strings.HasSuffix(path, "internal/sim") && obj.Name() == "RunCtx" {
+		return "sim.RunCtx"
+	}
+	return ""
+}
+
+// sortStmt recognizes statement-position sort calls and clears the
+// nondet-order taint of their argument (the sanctioned collect-sort idiom).
+func (w *funcWalker) sortStmt(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if !isSortCall(w.info, call) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if root := exprRoot(w.info, arg); root != nil {
+			delete(w.taintN, root)
+		}
+	}
+	return true
+}
+
+// isSortCall reports whether call is a sort.*/slices.Sort* invocation.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := info.Uses[sel.Sel]
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Stable") ||
+		name == "Ints" || name == "Strings" || name == "Float64s" ||
+		name == "Slice" || name == "SliceStable"
+}
+
+// assign transfers taint across one assignment and applies the mutation and
+// frozen-state checks to plain (non-define) writes.
+func (w *funcWalker) assign(lhs, rhs []ast.Expr, define bool, pos token.Pos) {
+	taintFrom := func(l ast.Expr, r ast.Expr) {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := w.info.Defs[id]
+		if obj == nil {
+			obj = w.info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if r != nil {
+			if why, bad := w.nondetExpr(r); bad {
+				w.taintN[obj] = why
+			} else {
+				delete(w.taintN, obj)
+			}
+			if why, bad := w.clockExpr(r); bad {
+				w.taintC[obj] = why
+			} else {
+				delete(w.taintC, obj)
+			}
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		for _, l := range lhs {
+			taintFrom(l, rhs[0])
+		}
+	} else {
+		for i, l := range lhs {
+			var r ast.Expr
+			if i < len(rhs) {
+				r = rhs[i]
+			}
+			taintFrom(l, r)
+		}
+	}
+	if !define {
+		for _, l := range lhs {
+			w.checkWrite(l, pos)
+		}
+	}
+}
+
+// checkWrite resolves one lvalue chain, recording parameter-pointee
+// mutations in the summary and reporting writes that reach a frozen type
+// from outside its declaring package.
+func (w *funcWalker) checkWrite(lhs ast.Expr, pos token.Pos) {
+	depth := 0
+	e := ast.Unparen(lhs)
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return
+			}
+			obj := w.info.Uses[t]
+			if obj == nil {
+				obj = w.info.Defs[t]
+			}
+			if obj == nil {
+				return
+			}
+			if pi, ok := w.params[obj]; ok && depth > 0 {
+				if _, seen := w.sum.Mutates[pi]; !seen {
+					w.sum.Mutates[pi] = pos
+				}
+			}
+			return
+		case *ast.SelectorExpr:
+			w.checkFrozenWrite(t.X, pos)
+			depth++
+			e = ast.Unparen(t.X)
+		case *ast.IndexExpr:
+			w.checkFrozenWrite(t.X, pos)
+			depth++
+			e = ast.Unparen(t.X)
+		case *ast.StarExpr:
+			w.checkFrozenWrite(t.X, pos)
+			depth++
+			e = ast.Unparen(t.X)
+		default:
+			return
+		}
+	}
+}
+
+// checkFrozenWrite reports a write that goes through a value of a frozen
+// type declared in another package. A value rooted in a function-local
+// variable is exempt: it is still under construction here and has not been
+// published yet (the builder pattern — baseline assembling a fresh
+// Schedule — is the sanctioned pre-publication window).
+func (w *funcWalker) checkFrozenWrite(container ast.Expr, pos token.Pos) {
+	tn, declPkg := w.frozenType(container)
+	if tn == nil {
+		return
+	}
+	if w.n.Pkg.ImportPath == declPkg {
+		return // the declaring package owns its publication discipline
+	}
+	if !w.escapedRoot(container) {
+		return // locally constructed: pre-publication
+	}
+	w.report("frozenstate", pos,
+		"write into frozen %s outside its declaring package %s: values of %s are published for concurrent read and must not be mutated after publication",
+		tn.Name(), declPkg, tn.Name())
+}
+
+// escapedRoot reports whether e's base object reaches this function from
+// outside — a parameter/receiver, struct field, or package-level variable —
+// as opposed to a function-local under construction. Unresolvable roots
+// (call results, index chains into temporaries) count as escaped.
+func (w *funcWalker) escapedRoot(e ast.Expr) bool {
+	root := exprRoot(w.info, e)
+	if root == nil {
+		return true
+	}
+	if _, isParam := w.params[root]; isParam {
+		return true
+	}
+	if v, ok := root.(*types.Var); ok {
+		if v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// frozenType reports whether e's (pointer-dereferenced) type is registered
+// frozen, returning the type name and its declaring package path.
+func (w *funcWalker) frozenType(e ast.Expr) (*types.TypeName, string) {
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil, ""
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if declPkg, ok := w.frozen[key]; ok {
+		return named.Obj(), declPkg
+	}
+	return nil, ""
+}
+
+// nondetExpr reports whether evaluating e yields data in nondeterministic
+// order: a tainted variable, a call to a summarized nondet-order function,
+// or a maps.Keys iterator. Sort-family calls launder their argument clean.
+func (w *funcWalker) nondetExpr(e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := w.info.Uses[t]; obj != nil {
+			if why, ok := w.taintN[obj]; ok {
+				return why, true
+			}
+		}
+		return "", false
+	case *ast.CallExpr:
+		if isSortCall(w.info, t) || isSortedCall(w.info, t) {
+			return "", false
+		}
+		if isMapsKeysCall(w.info, t) {
+			return "maps.Keys iterates in map order", true
+		}
+		if id, ok := t.Fun.(*ast.Ident); ok {
+			if b, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+				for _, a := range t.Args {
+					if why, ok := w.nondetExpr(a); ok {
+						return why, true
+					}
+				}
+				return "", false
+			}
+		}
+		if callee := w.staticCallee(ast.Unparen(t.Fun)); callee != nil {
+			if cs := w.get(callee.ID); cs.NondetOrder {
+				return fmt.Sprintf("%s returns map-iteration-ordered data (%s)", shortID(callee.ID), cs.NondetWhy), true
+			}
+		}
+		return "", false
+	case *ast.BinaryExpr:
+		if why, ok := w.nondetExpr(t.X); ok {
+			return why, true
+		}
+		return w.nondetExpr(t.Y)
+	case *ast.UnaryExpr:
+		return w.nondetExpr(t.X)
+	case *ast.StarExpr:
+		return w.nondetExpr(t.X)
+	case *ast.SelectorExpr:
+		return w.nondetExpr(t.X)
+	case *ast.IndexExpr:
+		return w.nondetExpr(t.X)
+	case *ast.SliceExpr:
+		return w.nondetExpr(t.X)
+	}
+	return "", false
+}
+
+// isSortedCall recognizes slices.Sorted/SortedFunc/SortedStableFunc, which
+// consume an unordered iterator and return sorted data — clean by design.
+func isSortedCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := info.Uses[sel.Sel]
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "slices" &&
+		strings.HasPrefix(fn.Name(), "Sorted")
+}
+
+// clockExpr reports whether e contains a wall-clock-derived value: a
+// time.Now() call, a call to a summarized clock-returning function, or a
+// clock-tainted variable.
+func (w *funcWalker) clockExpr(e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	var why string
+	found := false
+	ast.Inspect(e, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := w.info.Uses[t]; obj != nil {
+				if wy, ok := w.taintC[obj]; ok {
+					why, found = wy, true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := t.Fun.(*ast.SelectorExpr); ok {
+				obj := w.info.Uses[sel.Sel]
+				if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+					why = fmt.Sprintf("time.Now() at %s", posString(w.fset, t.Pos()))
+					found = true
+					return false
+				}
+			}
+			if callee := w.staticCallee(ast.Unparen(t.Fun)); callee != nil {
+				if cs := w.get(callee.ID); cs.Clock {
+					why = fmt.Sprintf("%s returns a wall-clock-derived value (%s)", shortID(callee.ID), cs.ClockWhy)
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return why, found
+}
+
+// taintCollectors taints every outer variable that body appends to — the
+// shared shape of the map-range, sync.Map.Range and goroutine-completion
+// order sources.
+func (w *funcWalker) taintCollectors(body *ast.BlockStmt, why string) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		// Outer variable: declared before the collecting body.
+		if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fid, ok := call.Fun.(*ast.Ident); ok {
+			if b, isBuiltin := w.info.Uses[fid].(*types.Builtin); isBuiltin && b.Name() == "append" {
+				w.taintN[obj] = why
+			}
+		}
+		return true
+	})
+}
+
+// isMapExpr reports whether e is a map (or a maps.Keys iterator).
+func (w *funcWalker) isMapExpr(e ast.Expr) bool {
+	if isMapsKeysCall(w.info, e) {
+		return true
+	}
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isSyncMap reports whether e has type sync.Map (or *sync.Map).
+func (w *funcWalker) isSyncMap(e ast.Expr) bool {
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Map"
+}
+
+// exprRoot resolves the base object of an expression chain (through
+// selectors, indexing, derefs and slicing).
+func exprRoot(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[t]; obj != nil {
+				return obj
+			}
+			return info.Defs[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// report emits one finding when the walker runs in reporting mode.
+func (w *funcWalker) report(analyzer string, pos token.Pos, format string, args ...any) {
+	if w.emit == nil {
+		return
+	}
+	w.emit(analyzer, pos, format, args...)
+}

@@ -1,0 +1,66 @@
+// Package callgraph is the fixture for the call-graph builder and the SCC
+// summary fixpoint: interface dispatch, indirect calls through function
+// values and method values, and a mutually recursive pair whose
+// nondet-order fact must survive the fixpoint.
+package callgraph
+
+type shape interface {
+	area() int
+}
+
+type square struct{ s int }
+
+func (q square) area() int { return q.s * q.s }
+
+type circle struct{ r int }
+
+func (c circle) area() int { return c.r * c.r * 3 }
+
+// totalArea dispatches through the interface: conservative edges to every
+// loaded implementation.
+func totalArea(ss []shape) int {
+	sum := 0
+	for _, s := range ss {
+		sum += s.area()
+	}
+	return sum
+}
+
+func double(x int) int { return x * 2 }
+
+// apply calls through a function value: conservative edges to every
+// address-taken function with an assignable signature.
+func apply(f func(int) int, x int) int {
+	return f(x)
+}
+
+func useApply(x int) int {
+	return apply(double, x)
+}
+
+// callThunk calls a no-arg function value; passing q.area below makes the
+// method value address-taken, so the indirect edge reaches the method.
+func callThunk(g func() int) int {
+	return g()
+}
+
+func useMethodValue(q square) int {
+	return callThunk(q.area)
+}
+
+// pingKeys/pongKeys are mutually recursive; only one of them touches a
+// map, and both must end up summarized nondet-order by the SCC fixpoint.
+func pingKeys(m map[int]int, depth int) []int {
+	if depth == 0 {
+		var out []int
+		for k := range m {
+			out = append(out, k)
+		}
+		return out
+	}
+	return pongKeys(m, depth-1)
+}
+
+func pongKeys(m map[int]int, depth int) []int {
+	return pingKeys(m, depth-1)
+}

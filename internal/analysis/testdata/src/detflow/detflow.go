@@ -1,0 +1,103 @@
+// Package detflow is the cross-package fixture for the interprocedural
+// nondeterminism-taint analyzer: the sources all live in the inner
+// subpackage, so every finding here is one the syntactic analyzers
+// (maporder, seeddiscipline) structurally cannot produce.
+package detflow
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dmacp/internal/analysis/testdata/src/detflow/inner"
+)
+
+var sink int
+
+// Ranging over a helper's map-ordered result is the canonical cross-call
+// leak: maporder sees neither the collect (other package) nor a map
+// range here.
+func emitOrder(m map[int]string) {
+	ks := inner.Keys(m)
+	for _, k := range ks { // want "inner.Keys returns map-iteration-ordered data"
+		sink += k
+	}
+}
+
+// Same leak without the intermediate variable.
+func emitOrderDirect(m map[int]string) {
+	for _, k := range inner.Keys(m) { // want "inner.Keys returns map-iteration-ordered data"
+		sink += k
+	}
+}
+
+// The helper sorted before returning: clean.
+func emitSorted(m map[int]string) {
+	for _, k := range inner.SortedKeys(m) {
+		sink += k
+	}
+}
+
+// The caller sorts before ranging: the collect-sort idiom launders the
+// taint exactly as it does for maporder.
+func emitSortedLocally(m map[int]string) {
+	ks := inner.Keys(m)
+	sort.Ints(ks)
+	for _, k := range ks {
+		sink += k
+	}
+}
+
+// A seed laundered through a constructor in another package: the
+// clock-taint summary carries time.Now across the call boundary.
+func launderedSeed() *rand.Rand {
+	src := rand.NewSource(inner.ClockSeed()) // want "seed derived from the wall clock"
+	return rand.New(src)                     // want "seed derived from the wall clock"
+}
+
+// A helper hiding the global math/rand source is reported at the
+// package-boundary call site.
+func hiddenGlobalRand(n int) int {
+	return inner.Jitter(n) // want "transitively draws unseeded randomness"
+}
+
+// sync.Map iteration order is as nondeterministic as map range order.
+func syncMapOrder(sm *sync.Map) {
+	var out []string
+	sm.Range(func(k, v any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	for _, s := range out { // want "sync.Map.Range"
+		sink += len(s)
+	}
+}
+
+// Goroutine completion order taints whatever the workers append to.
+func goroutineOrder(items []int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var out []int
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, it)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, v := range out { // want "spawned goroutine"
+		sink += v
+	}
+}
+
+// A reasoned allow directive suppresses a detflow finding like any other.
+func allowedOrder(m map[int]string) {
+	ks := inner.Keys(m)
+	for _, k := range ks { //lint:dmacp-allow detflow fixture: order feeds a commutative histogram
+		sink += k
+	}
+}

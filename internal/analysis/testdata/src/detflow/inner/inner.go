@@ -1,0 +1,47 @@
+// Package inner is the helper package of the detflow fixture: every
+// function here is clean in isolation under the syntactic analyzers' rules
+// for helpers — the nondeterminism only becomes a finding when the outer
+// package consumes the results on the emission path.
+package inner
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Keys collects map keys in iteration order; its summary is
+// nondet-order.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys launders the order with the sanctioned collect-sort idiom;
+// its summary is clean.
+func SortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClockSeed launders a wall-clock value through a return — the shape
+// seeddiscipline cannot see once the time.Now call leaves the seeding
+// expression.
+func ClockSeed() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the auto-seeded global source; callers inherit the
+// rand taint.
+//
+//lint:dmacp-allow seeddiscipline fixture: the whole point is that a helper hides the global source from callers
+func Jitter(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,62 @@
+// Package frozenstate is the cross-package fixture for publication
+// freezing: state.Table is annotated //lint:dmacp-frozen, so this package
+// may read it but never mutate it — directly, through its interior, or by
+// passing it to a local helper whose Mutates summary reaches it.
+package frozenstate
+
+import "dmacp/internal/analysis/testdata/src/frozenstate/state"
+
+// A direct field write from outside the declaring package.
+func directWrite(t *state.Table) {
+	t.N = 7 // want "write into frozen Table"
+}
+
+// Writing through the interior slice is still a write into the frozen
+// value.
+func interiorWrite(t *state.Table) {
+	t.D[0] = 1 // want "write into frozen Table"
+}
+
+// The declaring package's own mutator is the sanctioned path.
+func viaDeclaredMutator(t *state.Table) {
+	state.Scale(t, 2)
+}
+
+// fill is innocent in isolation: it mutates a plain []int parameter.
+func fill(d []int) {
+	for i := range d {
+		d[i] = 9
+	}
+}
+
+// launder hands the frozen value's interior to fill; its summary records
+// the parameter mutation, but the slice itself is not a frozen type.
+func launder(t *state.Table) {
+	fill(t.D)
+}
+
+// The cross-function finding the syntactic analyzers miss: outer passes a
+// frozen value to a local helper that (transitively) mutates it.
+func outer(t *state.Table) {
+	launder(t) // want "passed to frozenstate.launder, which mutates it"
+}
+
+// Reads are always fine.
+func readOnly(t *state.Table) int {
+	return t.N + len(t.D)
+}
+
+// A locally constructed value is still pre-publication: the builder may
+// mutate it (and pass it to mutating helpers) freely until it escapes.
+func construct() *state.Table {
+	t := state.New(3)
+	t.N = 3
+	t.D[0] = 1
+	launder(t)
+	return t
+}
+
+// A reasoned allow directive works for frozenstate like any analyzer.
+func allowedWrite(t *state.Table) {
+	t.N = 0 //lint:dmacp-allow frozenstate fixture: table is rebuilt before re-publication
+}

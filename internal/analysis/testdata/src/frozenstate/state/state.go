@@ -1,0 +1,29 @@
+// Package state declares the frozen fixture type. Everything in this file
+// is sanctioned: the declaring package owns construction and repair of its
+// published values.
+package state
+
+// A Table is published once and read concurrently afterwards.
+//
+//lint:dmacp-frozen
+type Table struct {
+	N int
+	D []int
+}
+
+// New builds a Table; declaring-package mutation is the sanctioned path.
+func New(n int) *Table {
+	t := &Table{N: n, D: make([]int, n)}
+	for i := range t.D {
+		t.D[i] = i
+	}
+	return t
+}
+
+// Scale is an exported mutator owned by the declaring package; calling it
+// from outside is sanctioned, because publication discipline lives here.
+func Scale(t *Table, f int) {
+	for i := range t.D {
+		t.D[i] *= f
+	}
+}

@@ -1,0 +1,67 @@
+// Package lockorder is the fixture for the mutex-acquisition-order
+// analyzer: a cycle split across two functions (one leg of it hidden
+// behind a call) and locks held across par.ForEach fan-outs, directly and
+// through a helper — none of which a single-function analyzer can see.
+package lockorder
+
+import (
+	"sync"
+
+	"dmacp/internal/par"
+)
+
+type store struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// lockBoth acquires a, then b via lockB: the a -> b leg of the cycle is
+// only visible through lockB's summary.
+func (s *store) lockBoth() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB() // want "closes a lock-order cycle"
+}
+
+func (s *store) lockB() {
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+}
+
+// reversed acquires b, then a: the other leg.
+func (s *store) reversed() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want "closes a lock-order cycle"
+	s.n--
+	s.a.Unlock()
+}
+
+// Fanning out while holding a lock serializes the pool at best and
+// deadlocks at worst.
+func (s *store) fanoutUnderLock(items []int) error {
+	s.a.Lock()
+	defer s.a.Unlock()
+	return par.ForEach(len(items), 2, func(i int) { items[i]++ }) // want "held across par.ForEach"
+}
+
+func fanout(items []int) {
+	_ = par.ForEach(len(items), 2, func(i int) { items[i]-- })
+}
+
+// The same violation one call deeper: only the Boundary summary sees it.
+func (s *store) fanoutViaHelper(items []int) {
+	s.b.Lock()
+	defer s.b.Unlock()
+	fanout(items) // want "held across par.ForEach via lockorder.fanout"
+}
+
+// Release before the fan-out: clean.
+func (s *store) fanoutAfterUnlock(items []int) {
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+	_ = par.ForEach(len(items), 2, func(i int) { items[i]++ })
+}

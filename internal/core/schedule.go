@@ -46,7 +46,11 @@ type Task struct {
 }
 
 // Schedule is the partitioner's output for one nest: the full task DAG plus
-// synchronization accounting.
+// synchronization accounting. Once published it is read concurrently
+// (simulator, verifier, experiment engine) and must not be mutated outside
+// this package; dmacplint's frozenstate analyzer enforces that.
+//
+//lint:dmacp-frozen
 type Schedule struct {
 	Tasks []*Task
 	// SyncsBefore counts synchronization arcs before transitive reduction;

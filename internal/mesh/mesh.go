@@ -132,6 +132,8 @@ func (m *Mesh) Distance(a, b NodeID) int {
 // DistanceTable is an immutable all-pairs distance view of a mesh. Lookups
 // replace repeated Distance computations in scheduling hot loops; the table
 // is built once per mesh and safe for concurrent readers.
+//
+//lint:dmacp-frozen
 type DistanceTable struct {
 	n int
 	d []int
