@@ -11,7 +11,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 # cannot be obtained, instead of degrading to a notice in offline sandboxes.
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep onlinesweep churnsweep bench-closure bench bench-json check
+.PHONY: build test test-short vet lint staticcheck race fuzz-smoke verify verifybig faultsweep onlinesweep churnsweep fusionsweep bench-closure bench bench-json bench-diff check
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,13 @@ onlinesweep:
 churnsweep:
 	$(GO) test ./internal/exp/ -run TestChurnSweepGate -count=1
 
+# Fusion differential gate over all 12 workloads: every fused schedule must
+# verify clean, fused bytes x hops must be <= unfused on every workload with
+# a strict improvement on >= 4, and fused partitioning must stay
+# byte-identical at any -j.
+fusionsweep:
+	$(GO) test ./internal/exp/ -run 'TestFusionSweep|TestRunnerFusionSweepExperiment' -count=1
+
 # Closure construction/query microbenchmarks, interval index vs the bitset
 # reference (numbers recorded in EXPERIMENTS.md).
 bench-closure:
@@ -103,9 +110,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Benchmark-trajectory harness: micro hot-path costs + serial-vs-parallel
-# suite timings + table byte-identity check, recorded to BENCH_9.json.
+# suite timings + table byte-identity check, recorded to BENCH_10.json.
 bench-json: build
-	$(GO) run ./cmd/dmacp bench -o BENCH_9.json
+	$(GO) run ./cmd/dmacp bench -o BENCH_10.json
 
-check: build vet lint staticcheck test race verifybig faultsweep onlinesweep churnsweep bench-json
+# Trajectory guard: diff the two newest BENCH_*.json records and fail on any
+# per-metric regression above 10% (ns/op, allocs/op, B/op, suite seconds).
+bench-diff: build
+	$(GO) run ./cmd/experiments -bench-diff
+
+check: build vet lint staticcheck test race verifybig faultsweep onlinesweep churnsweep fusionsweep bench-json
 	@echo "check: all gates passed"

@@ -5,7 +5,7 @@ package main
 // testing.Benchmark, times the experiment suite serial (-j 1) versus parallel
 // (-j N), asserts the two runs produce byte-identical tables, times the
 // dmacplint whole-tree pass (twice, asserting byte-identical -json output),
-// and writes the whole record to a JSON file (BENCH_9.json by default) so
+// and writes the whole record to a JSON file (BENCH_10.json by default) so
 // successive PRs can track the performance trajectory.
 
 import (
@@ -22,6 +22,7 @@ import (
 	"dmacp/internal/analysis"
 	"dmacp/internal/core"
 	"dmacp/internal/exp"
+	"dmacp/internal/fusion"
 	"dmacp/internal/mesh"
 	"dmacp/internal/sim"
 	"dmacp/internal/workloads"
@@ -45,7 +46,7 @@ type benchGroup struct {
 	Headline        map[string]float64 `json:"headline,omitempty"`
 }
 
-// benchReport is the BENCH_9.json schema.
+// benchReport is the BENCH_10.json schema.
 type benchReport struct {
 	Schema       string       `json:"schema"`
 	NumCPU       int          `json:"num_cpu"`
@@ -87,6 +88,7 @@ var benchSuiteIDs = [][]string{
 	{"faultsweep"},
 	{"onlinesweep"},
 	{"churnsweep"},
+	{"fusionsweep"},
 }
 
 func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
@@ -99,7 +101,7 @@ func runSuite(ids []string, jobs int, sc workloads.Scale) (*suiteRun, error) {
 		"fig17": r.Fig17, "fig18": r.Fig18, "fig19": r.Fig19, "fig20": r.Fig20,
 		"fig21": r.Fig21, "fig22": r.Fig22, "fig23": r.Fig23, "fig24": r.Fig24,
 		"ablations": r.Ablations, "verifydiff": r.VerifyDiff, "faultsweep": r.FaultSweep,
-		"onlinesweep": r.OnlineSweep, "churnsweep": r.ChurnSweep,
+		"onlinesweep": r.OnlineSweep, "churnsweep": r.ChurnSweep, "fusionsweep": r.FusionSweep,
 	}
 	out := &suiteRun{
 		tables:   map[string]string{},
@@ -153,7 +155,7 @@ func identicalRuns(a, b *suiteRun) bool {
 func runBench(args []string) {
 	fs := flag.NewFlagSet("dmacp bench", flag.ExitOnError)
 	var (
-		out   = fs.String("o", "BENCH_9.json", "output JSON path (\"-\" for stdout)")
+		out   = fs.String("o", "BENCH_10.json", "output JSON path (\"-\" for stdout)")
 		iters = fs.Int("iters", 48, "workload base iterations for the suite timing")
 		elems = fs.Int("elems", 1<<13, "workload array length for the suite timing")
 		jobs  = fs.Int("j", 0, "parallel worker count to compare against serial (<= 0 = one per CPU)")
@@ -202,10 +204,30 @@ func runBench(args []string) {
 	nest := app.Nests[0]
 	fixedOpts := opts
 	fixedOpts.FixedWindow = 4
+	// core/Partition keeps fusion off so its trajectory stays comparable with
+	// the pre-fusion BENCH_* records; core/Partition+fuse measures the full
+	// default path (coarsen pre-pass included).
+	unfusedOpts := fixedOpts
+	unfusedOpts.Fuse = false
 	rep.Micro = append(rep.Micro, microBench("core/Partition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(app.Prog, nest, app.Store, unfusedOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Micro = append(rep.Micro, microBench("core/Partition+fuse", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Partition(app.Prog, nest, app.Store, fixedOpts); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Micro = append(rep.Micro, microBench("fusion/Coarsen", func(b *testing.B) {
+		lim := fusion.Limits{L1Bytes: fixedOpts.L1Bytes, LineBytes: fixedOpts.Layout.LineBytes}
+		for i := 0; i < b.N; i++ {
+			if r := fusion.Coarsen(app.Prog, nest, lim); r == nil {
+				b.Fatal("nil coarsen result")
 			}
 		}
 	}))

@@ -78,6 +78,7 @@ func runVerify(args []string) {
 		quiet   = fs.Bool("q", false, "print violations only, no summaries")
 		strict  = fs.Bool("strict", false, "treat warnings as failures (non-zero exit)")
 		jobs    = fs.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
+		nofuse  = fs.Bool("nofuse", false, "disable the producer→consumer fusion pre-pass")
 	)
 	fs.Parse(args)
 
@@ -87,6 +88,7 @@ func runVerify(args []string) {
 		cfg.FixedWindow = *window
 		cfg.MeshCols, cfg.MeshRows = *cols, *rows
 		cfg.Jobs = *jobs
+		cfg.NoFuse = *nofuse
 		return cfg
 	}
 	report := func(checks []pipeline.ScheduleCheck) (failed bool) {
@@ -198,6 +200,7 @@ func runFaults(args []string) {
 		online    = fs.Bool("online", false, "mid-run arrival: the fault strikes at -at x the pristine makespan; checkpoint and re-repair only the residual schedule")
 		at        = fs.Float64("at", 0.5, "arrival point as a fraction of the pristine makespan (with -online)")
 		timeout   = fs.Duration("timeout", 0, "deadline for the anytime repair ladder (0 = run to completion); on expiry the best verifier-clean schedule found so far is returned")
+		nofuse    = fs.Bool("nofuse", false, "disable the producer→consumer fusion pre-pass")
 	)
 	defaultUsage := fs.Usage
 	fs.Usage = func() {
@@ -227,6 +230,7 @@ Exit codes:
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
 	cfg.Jobs = *jobs
 	cfg.Timeout = *timeout
+	cfg.NoFuse = *nofuse
 	spec := pipeline.FaultSpec{
 		Links: *links, Routers: *routers, Tiles: *tiles,
 		Seed: *fseed, ProtectMCs: *protect,
@@ -314,6 +318,7 @@ func main() {
 		asJSON  = flag.Bool("json", false, "print the report as JSON instead of text")
 		deps    = flag.Bool("deps", false, "print the static dependence analysis of the loop body")
 		jobs    = flag.Int("j", 0, "parallel workers for the window sweep (<= 0 = one per CPU, 1 = serial; result is identical)")
+		nofuse  = flag.Bool("nofuse", false, "disable the producer→consumer fusion pre-pass")
 	)
 	flag.Parse()
 
@@ -331,6 +336,7 @@ func main() {
 	cfg.FixedWindow = *window
 	cfg.MeshCols, cfg.MeshRows = *cols, *rows
 	cfg.Jobs = *jobs
+	cfg.NoFuse = *nofuse
 
 	rep, err := pipeline.Run(k, cfg)
 	if err != nil {

@@ -1,0 +1,186 @@
+package main
+
+// bench-diff compares the two most recent BENCH_*.json trajectory records
+// (by their numeric suffix) and prints every shared metric with its delta,
+// flagging regressions above 10%. All compared metrics are lower-is-better
+// (ns/op, allocs/op, B/op, suite seconds), so a regression is simply
+// new > 1.1 * old. The helper exits non-zero when it finds one, so
+// `make bench-diff` can be used as a local gate before committing a new
+// trajectory record.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchDiffThreshold is the relative growth above which a metric counts as a
+// regression.
+const benchDiffThreshold = 0.10
+
+// diffMicro mirrors the micro entries of the dmacp-bench/1 schema.
+type diffMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// diffGroup mirrors the suite-group entries of the dmacp-bench/1 schema.
+type diffGroup struct {
+	Name            string  `json:"name"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	TablesIdentical bool    `json:"tables_identical"`
+}
+
+// diffReport is the subset of the dmacp-bench/1 schema the diff consumes.
+type diffReport struct {
+	Schema string      `json:"schema"`
+	Micro  []diffMicro `json:"micro"`
+	Groups []diffGroup `json:"groups"`
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestBenchFiles returns the two highest-numbered BENCH_*.json files in
+// dir, oldest first.
+func latestBenchFiles(dir string) ([2]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return [2]string{}, err
+	}
+	type rec struct {
+		n    int
+		name string
+	}
+	var found []rec
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, rec{n, e.Name()})
+	}
+	if len(found) < 2 {
+		return [2]string{}, fmt.Errorf("bench-diff: need at least two BENCH_*.json files in %s, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return [2]string{
+		filepath.Join(dir, found[len(found)-2].name),
+		filepath.Join(dir, found[len(found)-1].name),
+	}, nil
+}
+
+func loadBenchReport(path string) (*diffReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep diffReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffMetric prints one metric comparison and reports whether it regressed.
+func diffMetric(name string, old, new float64, unit string) bool {
+	if old <= 0 {
+		if new <= 0 {
+			fmt.Printf("  %-42s %14.0f -> %14.0f %-9s    +0.0%%\n", name, old, new, unit)
+			return false
+		}
+		fmt.Printf("  %-42s %14.0f %s (no baseline)\n", name, new, unit)
+		return false
+	}
+	delta := (new - old) / old
+	mark := ""
+	regressed := delta > benchDiffThreshold
+	if regressed {
+		mark = "  <-- REGRESSION"
+	}
+	fmt.Printf("  %-42s %14.0f -> %14.0f %-9s %+7.1f%%%s\n", name, old, new, unit, delta*100, mark)
+	return regressed
+}
+
+// runBenchDiff compares the two newest BENCH_*.json records in dir and
+// returns the process exit code: 0 when clean, 1 on any >10% regression or
+// determinism failure recorded in the newer file.
+func runBenchDiff(dir string) int {
+	files, err := latestBenchFiles(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	oldRep, err := loadBenchReport(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		return 2
+	}
+	newRep, err := loadBenchReport(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		return 2
+	}
+	fmt.Printf("bench-diff: %s -> %s (regression threshold %+.0f%%)\n\n",
+		filepath.Base(files[0]), filepath.Base(files[1]), benchDiffThreshold*100)
+
+	regressions := 0
+	oldMicro := map[string]diffMicro{}
+	for _, m := range oldRep.Micro {
+		oldMicro[m.Name] = m
+	}
+	fmt.Println("micro benchmarks:")
+	for _, m := range newRep.Micro {
+		om, ok := oldMicro[m.Name]
+		if !ok {
+			fmt.Printf("  %-42s (new metric: %.0f ns/op, %d allocs/op, %d B/op)\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+			continue
+		}
+		if diffMetric(m.Name+" ns/op", om.NsPerOp, m.NsPerOp, "ns") {
+			regressions++
+		}
+		if diffMetric(m.Name+" allocs/op", float64(om.AllocsPerOp), float64(m.AllocsPerOp), "allocs") {
+			regressions++
+		}
+		if diffMetric(m.Name+" B/op", float64(om.BytesPerOp), float64(m.BytesPerOp), "B") {
+			regressions++
+		}
+	}
+
+	oldGroups := map[string]diffGroup{}
+	for _, g := range oldRep.Groups {
+		oldGroups[g.Name] = g
+	}
+	fmt.Println("\nsuite groups (parallel wall seconds):")
+	for _, g := range newRep.Groups {
+		if !g.TablesIdentical {
+			fmt.Printf("  %-42s DETERMINISM FAILURE (tables differ across runs)\n", g.Name)
+			regressions++
+		}
+		og, ok := oldGroups[g.Name]
+		if !ok {
+			fmt.Printf("  %-42s (new group: %.2fs)\n", g.Name, g.ParallelSeconds)
+			continue
+		}
+		if diffMetric(g.Name+" seconds", og.ParallelSeconds, g.ParallelSeconds, "s") {
+			regressions++
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\nbench-diff: %d regression(s) above %.0f%%\n", regressions, benchDiffThreshold*100)
+		return 1
+	}
+	fmt.Println("\nbench-diff: clean")
+	return 0
+}

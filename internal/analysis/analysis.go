@@ -340,6 +340,7 @@ func onEmissionPath(importPath string) bool {
 var emissionPathPackages = []string{
 	"dmacp/internal/core",
 	"dmacp/internal/baseline",
+	"dmacp/internal/fusion",
 	"dmacp/internal/verify",
 	"dmacp/internal/exp",
 	"dmacp/internal/sim",

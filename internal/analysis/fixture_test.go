@@ -22,6 +22,14 @@ var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 // expectations, both directions.
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
+	runFixtureAnalyzers(t, []*Analyzer{a}, fixture)
+}
+
+// runFixtureAnalyzers is runFixture over several analyzers at once, for
+// fixtures whose `// want` expectations span more than one analyzer (the
+// fusion fixture exercises maporder and detflow together).
+func runFixtureAnalyzers(t *testing.T, as []*Analyzer, fixture string) {
+	t.Helper()
 	pkgs, err := Load(LoadConfig{Tests: true}, "./testdata/src/"+fixture+"/...")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
@@ -50,7 +58,7 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 		}
 	}
 
-	diags := Run(pkgs, []*Analyzer{a})
+	diags := Run(pkgs, as)
 	matched := make(map[key]int)
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
@@ -77,6 +85,13 @@ func TestCtxDisciplineFixture(t *testing.T)  { runFixture(t, CtxDiscipline, "ctx
 func TestDetFlowFixture(t *testing.T)        { runFixture(t, DetFlow, "detflow") }
 func TestLockOrderFixture(t *testing.T)      { runFixture(t, LockOrder, "lockorder") }
 func TestFrozenStateFixture(t *testing.T)    { runFixture(t, FrozenState, "frozenstate") }
+
+// TestFusionFixture checks the fusion-candidate-emission patterns against
+// maporder and detflow together: the coarsened statement sequence is emitted
+// output, so candidate selection must be deterministic.
+func TestFusionFixture(t *testing.T) {
+	runFixtureAnalyzers(t, []*Analyzer{MapOrder, DetFlow}, "fusion")
+}
 
 // TestMapOrderSuggestedFix pins the mechanical sorted-keys rewrite: the
 // flagged range in the maporder fixture must carry a replacement sketch that

@@ -28,7 +28,7 @@ var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc: "forbid order-sensitive iteration over Go maps in packages on the " +
 		"schedule-emission path (internal/core, internal/baseline, " +
-		"internal/verify, internal/exp, internal/sim, pipeline)",
+		"internal/fusion, internal/verify, internal/exp, internal/sim, pipeline)",
 	Run: runMapOrder,
 }
 

@@ -122,8 +122,10 @@ func TestPartitionerSuiteSchedulesVerify(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%q: %v", src, err)
 		}
+		// DefaultOptions runs the fusion pre-pass; the schedule's statement
+		// indices refer to the (possibly coarsened) nest.
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: res.ScheduleNest(), Store: store,
 			Schedule: res.Schedule, Mesh: opts.Mesh, Layout: opts.Layout,
 			Translations: res.Translations, Labels: res.LineLabels,
 		}, verify.Options{})

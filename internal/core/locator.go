@@ -49,8 +49,22 @@ type Locator struct {
 	// labels names each located line after the first reference that touched
 	// it ("B[24]"), for code generation and diagnostics.
 	labels map[uint64]string
+	// statics caches the iteration-independent view of each reference the
+	// locator has seen: its array and the affine form of its subscript. The
+	// body's *Ref nodes are shared across all iterations, so keying by
+	// pointer turns the per-instance affine re-analysis (AnalyzeAffine and
+	// its coefficient maps, the hottest allocation site of the window sweep)
+	// into a single map probe.
+	statics map[*ir.Ref]refStatic
 
 	refs, analyzable int64 // Table 1 accounting
+}
+
+// refStatic is the cached compile-time view of one reference.
+type refStatic struct {
+	arr    *ir.Array
+	aff    ir.Affine
+	affine bool
 }
 
 // NewLocator creates a locator for the given options. The allocator models
@@ -63,7 +77,12 @@ func NewLocator(opts *Options) (*Locator, error) {
 	if err != nil {
 		return nil, err
 	}
-	loc := &Locator{opts: opts, alloc: alloc, labels: make(map[uint64]string)}
+	loc := &Locator{
+		opts:    opts,
+		alloc:   alloc,
+		labels:  make(map[uint64]string),
+		statics: make(map[*ir.Ref]refStatic),
+	}
 	loc.l2 = make([]*cache.Cache, opts.Mesh.Nodes())
 	for i := range loc.l2 {
 		loc.l2[i] = cache.MustNew(cache.Config{
@@ -126,19 +145,31 @@ func (loc *Locator) Locate(va uint64) LineLoc {
 // conservatively placed at the requesting statement's store node by the
 // caller.
 func (loc *Locator) LocateRef(prog *ir.Program, ref *ir.Ref, env map[string]int, store *ir.Store) (LineLoc, bool) {
+	st, ok := loc.statics[ref]
+	if !ok {
+		st.arr = prog.Array(ref.Array)
+		st.aff, st.affine = ir.SubscriptOf(ref)
+		loc.statics[ref] = st
+	}
 	loc.refs++
-	if ir.Analyzable(ref) {
+	if st.affine {
 		loc.analyzable++
 	}
-	va, err := prog.AddrOf(ref, env, store)
-	if err != nil {
+	var idx int
+	if st.affine {
+		idx = st.aff.Eval(env)
+	} else {
+		var err error
+		if idx, err = prog.IndexOf(ref, env, store); err != nil {
+			return LineLoc{}, false
+		}
+	}
+	if st.arr == nil {
 		return LineLoc{}, false
 	}
-	ll := loc.Locate(loc.alloc.Translate(va))
+	ll := loc.Locate(loc.alloc.Translate(st.arr.AddrOfIndex(idx)))
 	if _, seen := loc.labels[ll.Line]; !seen {
-		if idx, err := prog.IndexOf(ref, env, store); err == nil {
-			loc.labels[ll.Line] = fmt.Sprintf("%s[%d]", ref.Array, idx)
-		}
+		loc.labels[ll.Line] = fmt.Sprintf("%s[%d]", ref.Array, idx)
 	}
 	return ll, true
 }

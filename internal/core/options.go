@@ -44,6 +44,13 @@ type Options struct {
 	// resolve perfectly.
 	IdealAnalysis bool
 
+	// Fuse enables the producer→consumer coarsening pre-pass
+	// (internal/fusion): statements whose stored value has exactly one
+	// consumer — the next statement — are merged before the window sweep,
+	// so the partitioner schedules fewer instances and never pays movement
+	// for single-use temporaries. Disabled by -nofuse on the CLIs.
+	Fuse bool
+
 	// MaxWindow bounds the adaptive window-size search (the paper searches 1
 	// through 8 statements).
 	MaxWindow int
@@ -102,6 +109,7 @@ func DefaultOptions() Options {
 		Mesh:          m,
 		Layout:        l,
 		Mode:          mesh.Quadrant,
+		Fuse:          true,
 		MaxWindow:     8,
 		ReuseAware:    true,
 		LoadThreshold: 0.10,

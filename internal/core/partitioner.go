@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dmacp/internal/cache"
+	"dmacp/internal/fusion"
 	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
 	"dmacp/internal/par"
@@ -42,6 +43,14 @@ type Stats struct {
 // Result is the outcome of partitioning one loop nest.
 type Result struct {
 	Nest *ir.Nest
+	// FusedNest is the coarsened nest the schedule was actually emitted
+	// over when Options.Fuse merged producer→consumer statements (nil when
+	// fusion was off or found no legal candidate). Task.Stmt indices refer
+	// to its body; Fusion expands them back to Nest's statement indices.
+	FusedNest *ir.Nest
+	// Fusion maps coarsened statement indices to the original ones; nil
+	// when FusedNest is nil.
+	Fusion *fusion.FusionMap
 	// WindowSize is the statement window the adaptive search selected (or
 	// the fixed size when Options.FixedWindow was set).
 	WindowSize int
@@ -74,6 +83,18 @@ type Result struct {
 	Translations map[uint64]uint64
 }
 
+// ScheduleNest returns the nest whose body the schedule's Task.Stmt indices
+// refer to: the fused nest when the coarsening pre-pass merged statements,
+// the original nest otherwise. Every consumer that interprets Stmt/Iter
+// against a statement body — the verifier, the code generator — must use
+// it; the unfused Nest stays the reference semantics.
+func (r *Result) ScheduleNest() *ir.Nest {
+	if r.FusedNest != nil {
+		return r.FusedNest
+	}
+	return r.Nest
+}
+
 // Partition runs the full NDP-aware partitioning pipeline of Algorithm 1 on
 // one loop nest: location detection, per-window-size trial scheduling,
 // window-size selection by minimum data movement, and final task emission
@@ -90,12 +111,29 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 		return nil, fmt.Errorf("core: nest %q has an empty body", nest.Name)
 	}
 
+	// Coarsening pre-pass: merge single-consumer producers into their
+	// consumers before anything looks at the body. The sweep, the emitted
+	// schedule and the verifier all operate on the fused nest; the original
+	// stays on Result.Nest as the reference semantics.
+	schedNest := nest
+	var fmap *fusion.FusionMap
+	if opts.Fuse {
+		fr := fusion.Coarsen(prog, nest, fusion.Limits{
+			L1Bytes:   opts.L1Bytes,
+			LineBytes: opts.Layout.LineBytes,
+		})
+		if fr.Merged > 0 {
+			schedNest = fr.Nest
+			fmap = fr.Map
+		}
+	}
+
 	usedInspector := false
-	if ir.HasMayDeps(nest.Body) && store != nil {
+	if ir.HasMayDeps(schedNest.Body) && store != nil {
 		// Inspector phase: resolve indirect accesses through runtime values
 		// (Section 4.5). The executor below consults the same store, which
 		// is exactly what the inspector recorded.
-		ins := ir.NewInspector(prog, nest)
+		ins := ir.NewInspector(prog, schedNest)
 		if err := ins.Run(store); err != nil {
 			return nil, fmt.Errorf("core: inspector: %w", err)
 		}
@@ -104,9 +142,13 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 
 	res := &Result{
 		Nest:           nest,
+		Fusion:         fmap,
 		MovementBySize: make(map[int]int64),
 		L1HitBySize:    make(map[int]float64),
 		UsedInspector:  usedInspector,
+	}
+	if fmap != nil {
+		res.FusedNest = schedNest
 	}
 	// Window-size trials are independent: each pass owns its locator, shadow
 	// caches and predictor copy, and only reads prog/nest/store (the inspector
@@ -116,8 +158,13 @@ func Partition(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts Options) (
 	sizes := opts.windowSizes()
 	prs := make([]*passResult, len(sizes))
 	errs := make([]error, len(sizes))
-	if err := par.ForEach(opts.Jobs, len(sizes), func(i int) {
-		prs[i], errs[i] = runPass(prog, nest, store, &opts, sizes[i])
+	if len(sizes) == 1 {
+		// Singleton window set (FixedWindow, or MaxWindow=1): there is no
+		// sweep to fan out, so skip the worker-pool scaffolding and run the
+		// single pass inline on the calling goroutine.
+		prs[0], errs[0] = runPass(prog, schedNest, store, &opts, sizes[0])
+	} else if err := par.ForEach(opts.Jobs, len(sizes), func(i int) {
+		prs[i], errs[i] = runPass(prog, schedNest, store, &opts, sizes[i])
 	}); err != nil {
 		return nil, err
 	}
@@ -169,6 +216,35 @@ type stmtPre struct {
 	mix      map[ir.OpClass]int
 	ops      int
 	opWeight float64
+}
+
+// passScratch owns the reusable working storage of one scheduling pass's
+// instance loop. A pass runs on exactly one worker goroutine, so the scratch
+// obeys the par ownership rule by construction; every buffer is overwritten
+// (never read) at the start of the instance that uses it, and nothing that
+// escapes into the emitted schedule aliases it.
+type passScratch struct {
+	builder planBuilder
+	an      PlanAnalysis
+	// taskOf is emitTasks' vertex -> task table.
+	taskOf []*Task
+	// env is the reused iteration environment.
+	env map[string]int
+	// readerPool recycles the per-line reader maps that write-invalidation
+	// retires (delete from lastReaders) back to later lines.
+	readerPool []map[mesh.NodeID]int
+	// reuseBuf[l] backs the reuse-candidate list of the instance's l-th leaf.
+	reuseBuf [][]mesh.NodeID
+}
+
+// getReaderMap returns an empty per-line reader map, recycled if available.
+func (sc *passScratch) getReaderMap() map[mesh.NodeID]int {
+	if n := len(sc.readerPool); n > 0 {
+		m := sc.readerPool[n-1]
+		sc.readerPool = sc.readerPool[:n-1]
+		return m
+	}
+	return make(map[mesh.NodeID]int)
 }
 
 // runPass performs one complete scheduling pass over the nest with a fixed
@@ -235,6 +311,7 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 	// map (and one lookup closure) avoids re-allocating it per instance.
 	infos := make(map[*ir.Ref]operandInfo)
 	lookup := func(r *ir.Ref) operandInfo { return infos[r] }
+	sc := &passScratch{builder: planBuilder{dt: dt}}
 
 	var env map[string]int
 	for k := 0; k < instances; k++ {
@@ -246,7 +323,7 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		iter := k / m
 		stmtIdx := k % m
 		if stmtIdx == 0 {
-			env = nest.IterationEnv(iter)
+			env = nest.IterationEnvInto(env, iter)
 		}
 		stmt := body[stmtIdx]
 
@@ -266,27 +343,37 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		// reuse nodes if the shadow L1 still holds them.
 		ps := &pre[stmtIdx]
 		clear(infos)
-		for _, ref := range ps.leaves {
-			li, ok := loc.LocateRef(prog, ref, env, store)
+		for gr := len(sc.reuseBuf); gr < len(ps.leaves); gr++ {
+			sc.reuseBuf = append(sc.reuseBuf, nil)
+		}
+		for li, ref := range ps.leaves {
+			ll, ok := loc.LocateRef(prog, ref, env, store)
 			if !ok {
-				li = LineLoc{Line: storeLoc.Line, Home: storeLoc.Home, MC: storeLoc.MC,
+				ll = LineLoc{Line: storeLoc.Line, Home: storeLoc.Home, MC: storeLoc.MC,
 					PredictedHit: true, ActualHit: true}
 			}
-			info := operandInfo{loc: li}
+			info := operandInfo{loc: ll}
 			if passOpts.ReuseAware {
-				for _, n := range varMap[li.Line] {
-					if n != li.Node() && l1[n].Contains(li.Line) {
-						info.reuseNodes = append(info.reuseNodes, n)
+				// The candidate list lives in per-leaf scratch: it is only
+				// read while this instance's plan is built.
+				buf := sc.reuseBuf[li][:0]
+				for _, n := range varMap[ll.Line] {
+					if n != ll.Node() && l1[n].Contains(ll.Line) {
+						buf = append(buf, n)
 					}
+				}
+				sc.reuseBuf[li] = buf
+				if len(buf) > 0 {
+					info.reuseNodes = buf
 				}
 			}
 			infos[ref] = info
 		}
 
-		plan := buildPlan(dt, ps.set, lookup, storeLoc)
-		an := plan.Analyze()
+		plan := sc.builder.build(ps.set, lookup, storeLoc)
+		an := plan.AnalyzeInto(&sc.an)
 
-		root, extra := sched.emitTasks(dt, plan, an, stmtIdx, iter, k/window, ps.opWeight, ps.mix, ps.ops, lt)
+		root, extra := sched.emitTasks(dt, plan, an, stmtIdx, iter, k/window, ps.opWeight, ps.mix, ps.ops, lt, sc)
 
 		// Inter-statement flow dependences: the root (and any task fetching
 		// a previously written line) must follow the writer. When the fetch
@@ -342,10 +429,12 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 				}
 				l1[task.Node].Access(f.Line)
 				varMap[f.Line] = appendNode(varMap[f.Line], task.Node)
-				if lastReaders[f.Line] == nil {
-					lastReaders[f.Line] = make(map[mesh.NodeID]int)
+				lr := lastReaders[f.Line]
+				if lr == nil {
+					lr = sc.getReaderMap()
+					lastReaders[f.Line] = lr
 				}
-				lastReaders[f.Line][task.Node] = task.ID
+				lr[task.Node] = task.ID
 			}
 		}
 		// The store supersedes all recorded readers of the output line: this
@@ -357,7 +446,11 @@ func runPass(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *Options, wi
 		// line in both copy models — the shadow L1s and the reuse map — so
 		// no later statement plans an L1 reuse from a pre-write copy. The
 		// verifier replays the same model and rejects stale hits outright.
-		delete(lastReaders, storeLoc.Line)
+		if retired := lastReaders[storeLoc.Line]; retired != nil {
+			clear(retired)
+			sc.readerPool = append(sc.readerPool, retired)
+			delete(lastReaders, storeLoc.Line)
+		}
 		for n := range l1 {
 			if mesh.NodeID(n) != storeLoc.Home {
 				l1[n].Invalidate(storeLoc.Line)

@@ -160,9 +160,18 @@ func (lt *loadTracker) Imbalance() float64 {
 // longer collapses to one transfer).
 func (s *Schedule) emitTasks(dt *mesh.DistanceTable, plan *StatementPlan, an *PlanAnalysis,
 	stmtIdx, iter, window int, opWeight float64, mix map[ir.OpClass]int, totalOps int,
-	lt *loadTracker) (*Task, int) {
+	lt *loadTracker, sc *passScratch) (*Task, int) {
 
-	taskOf := make([]*Task, len(plan.Vertices))
+	taskOf := sc.taskOf
+	if cap(taskOf) < len(plan.Vertices) {
+		taskOf = make([]*Task, len(plan.Vertices))
+	} else {
+		taskOf = taskOf[:len(plan.Vertices)]
+		for i := range taskOf {
+			taskOf[i] = nil
+		}
+	}
+	sc.taskOf = taskOf
 	extraMovement := 0
 
 	mixShare := func(ops int) map[ir.OpClass]int {
@@ -207,14 +216,14 @@ func (s *Schedule) emitTasks(dt *mesh.DistanceTable, plan *StatementPlan, an *Pl
 			Iter:   iter,
 			Window: window,
 		}
-		t.Fetches = append(t.Fetches, vertexFetches(plan, v, node)...)
+		t.Fetches = appendVertexFetches(t.Fetches, plan, v, node)
 		for _, c := range an.Children[v] {
 			if ct := taskOf[c]; ct != nil {
 				t.addWait(ct.ID, dt.Between(ct.Node, node))
 				s.SyncsBefore++
 				continue
 			}
-			t.Fetches = append(t.Fetches, vertexFetches(plan, c, node)...)
+			t.Fetches = appendVertexFetches(t.Fetches, plan, c, node)
 		}
 		lt.add(node, cost)
 		s.Tasks = append(s.Tasks, t)
@@ -232,17 +241,22 @@ func (s *Schedule) emitTasks(dt *mesh.DistanceTable, plan *StatementPlan, an *Pl
 // matches. The emission loop re-marks genuine hits against the consuming
 // node's shadow L1 afterwards.
 func vertexFetches(plan *StatementPlan, v int, taskNode mesh.NodeID) []Fetch {
+	return appendVertexFetches(nil, plan, v, taskNode)
+}
+
+// appendVertexFetches is vertexFetches appending into a caller-owned slice,
+// so the emission loop builds each task's fetch list in one allocation.
+func appendVertexFetches(dst []Fetch, plan *StatementPlan, v int, taskNode mesh.NodeID) []Fetch {
 	pv := plan.Vertices[v]
-	out := make([]Fetch, 0, len(pv.Lines))
 	for _, line := range pv.Lines {
-		out = append(out, Fetch{
+		dst = append(dst, Fetch{
 			From:   pv.Node,
 			Line:   line,
 			L2Miss: containsLine(pv.MissLines, line),
 			L1Hit:  taskNode == pv.Node && containsLine(pv.ReusedLines, line),
 		})
 	}
-	return out
+	return dst
 }
 
 func containsLine(lines []uint64, line uint64) bool {

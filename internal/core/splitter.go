@@ -16,15 +16,6 @@ type operandInfo struct {
 	reuseNodes []mesh.NodeID
 }
 
-// candidates returns the candidate nodes of the operand: the reuse copies
-// first (L1 hits, preferred at equal distance), then the primary location.
-func (o operandInfo) candidates() []mesh.NodeID {
-	out := make([]mesh.NodeID, 0, len(o.reuseNodes)+1)
-	out = append(out, o.reuseNodes...)
-	out = append(out, o.loc.Node())
-	return out
-}
-
 // PlanVertex is a site in a statement's gather tree: a mesh node where one
 // or more input lines are resident and (usually) a partial combine executes.
 type PlanVertex struct {
@@ -67,95 +58,183 @@ type StatementPlan struct {
 }
 
 // planItem is a component during level-based MST construction: either a
-// single unpinned leaf operand (candidate node set), or a pinned set of
+// single unpinned leaf operand (its located info supplies the candidate
+// nodes — reuse copies first, primary location last), or a pinned set of
 // concrete vertices (a completed inner group, or already-pinned leaves).
 type planItem struct {
-	pinned     bool
-	candidates []mesh.NodeID // unpinned leaf: where the operand may be taken from
-	vidx       int           // unpinned leaf: vertex index reserved for it
-	reusable   map[mesh.NodeID]bool
-	members    []int // pinned: vertex indices of the component
+	pinned  bool
+	info    operandInfo // unpinned leaf: primary location + reuse copies
+	vidx    int         // unpinned leaf: vertex index reserved for it
+	members []int       // pinned: vertex indices of the component
 }
 
+// candCount/cand enumerate an unpinned leaf's candidate nodes in the fixed
+// order the MST commits to them: the reuse copies first (L1 hits, preferred
+// at equal distance), then the primary location.
+func (it *planItem) candCount() int { return len(it.info.reuseNodes) + 1 }
+
+func (it *planItem) cand(i int) mesh.NodeID {
+	if i < len(it.info.reuseNodes) {
+		return it.info.reuseNodes[i]
+	}
+	return it.info.loc.Node()
+}
+
+// reusableAt reports whether pinning the leaf at n realizes an L1 reuse.
+func (it *planItem) reusableAt(n mesh.NodeID) bool {
+	for _, r := range it.info.reuseNodes {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// planBuilder performs single-statement splitting. One builder is reused
+// across every statement instance of a scheduling pass (per-worker state
+// under the par ownership rule): vertices, edges, items and the component
+// scratch all retain their backing arrays between build calls, so the
+// steady-state instance loop allocates only what escapes into the schedule.
 type planBuilder struct {
 	dt       *mesh.DistanceTable
 	vertices []PlanVertex
 	edges    []PlanEdge
 	reuse    int
+	plan     StatementPlan
+
+	// itemPool arena-allocates planItems; stack holds the live items of the
+	// in-progress levels (each level is a contiguous window of it).
+	itemPool []*planItem
+	nItems   int
+	stack    []*planItem
+	comp     []int
 }
 
-// buildPlan performs single-statement splitting (Algorithm 1, lines 1-32):
-// level-based Kruskal over the nested variable sets, innermost first, with
-// completed sets treated as single components, and the store location joined
-// at the outermost level.
+// newItem returns a reset item from the arena.
+func (b *planBuilder) newItem() *planItem {
+	if b.nItems < len(b.itemPool) {
+		it := b.itemPool[b.nItems]
+		b.nItems++
+		it.pinned = false
+		it.info = operandInfo{}
+		it.vidx = 0
+		it.members = it.members[:0]
+		return it
+	}
+	it := &planItem{}
+	b.itemPool = append(b.itemPool, it)
+	b.nItems++
+	return it
+}
+
+// newVertex appends a vertex, reusing the slot's line slices when the
+// backing array still holds a previous instance's entry.
+func (b *planBuilder) newVertex(node mesh.NodeID, isStore bool) int {
+	idx := len(b.vertices)
+	if idx < cap(b.vertices) {
+		b.vertices = b.vertices[:idx+1]
+		v := &b.vertices[idx]
+		v.Node, v.IsStore = node, isStore
+		v.Lines = v.Lines[:0]
+		v.ReusedLines = v.ReusedLines[:0]
+		v.MissLines = v.MissLines[:0]
+	} else {
+		b.vertices = append(b.vertices, PlanVertex{Node: node, IsStore: isStore})
+	}
+	return idx
+}
+
+// buildPlan performs single-statement splitting (Algorithm 1, lines 1-32)
+// with a throwaway builder; the instance loop uses a long-lived builder's
+// build method instead.
 func buildPlan(dt *mesh.DistanceTable, set *ir.SetNode, ops func(*ir.Ref) operandInfo, store LineLoc) *StatementPlan {
 	b := &planBuilder{dt: dt}
+	return b.build(set, ops, store)
+}
+
+// build runs one split: level-based Kruskal over the nested variable sets,
+// innermost first, with completed sets treated as single components, and the
+// store location joined at the outermost level. The returned plan aliases
+// the builder's buffers and is valid until the next build call.
+func (b *planBuilder) build(set *ir.SetNode, ops func(*ir.Ref) operandInfo, store LineLoc) *StatementPlan {
+	b.vertices = b.vertices[:0]
+	b.edges = b.edges[:0]
+	b.reuse = 0
+	b.nItems = 0
+	b.stack = b.stack[:0]
 
 	// The store node participates in the outermost MST as a regular vertex
 	// (Figure 4 includes the A(i) vertex), so collect the top-level items and
 	// run the outermost Kruskal over operands and store together.
-	items := b.collectItems(set, ops)
-	storeIdx := len(b.vertices)
-	b.vertices = append(b.vertices, PlanVertex{Node: store.Home, IsStore: true})
-	items = append(items, &planItem{pinned: true, members: []int{storeIdx}})
-	b.mstOver(items)
+	b.collectItems(set, ops)
+	storeIdx := b.newVertex(store.Home, true)
+	sit := b.newItem()
+	sit.pinned = true
+	sit.members = append(sit.members, storeIdx)
+	b.stack = append(b.stack, sit)
+	b.mstOver(0)
 
 	movement := 0
 	for _, e := range b.edges {
 		movement += e.Weight
 	}
-	return &StatementPlan{
+	b.plan = StatementPlan{
 		Vertices:  b.vertices,
 		Edges:     b.edges,
 		Root:      storeIdx,
 		Movement:  movement,
 		ReuseHits: b.reuse,
 	}
+	return &b.plan
 }
 
-// collectItems turns the elements of one nested set into MST items:
-// leaves become candidate-set items (deduplicated by line), inner groups are
-// recursively collapsed into single pinned components (innermost-first order
-// of Algorithm 1).
-func (b *planBuilder) collectItems(group *ir.SetNode, ops func(*ir.Ref) operandInfo) []*planItem {
-	var items []*planItem
-	seenLine := make(map[uint64]bool) // lines already an operand at this level
+// collectItems turns the elements of one nested set into MST items pushed on
+// the level stack: leaves become candidate-set items (deduplicated by line),
+// inner groups are recursively collapsed into single pinned components
+// (innermost-first order of Algorithm 1).
+func (b *planBuilder) collectItems(group *ir.SetNode, ops func(*ir.Ref) operandInfo) {
+	start := len(b.stack)
 	for _, el := range group.Group {
 		if el.IsLeaf() {
 			info := ops(el.Ref)
-			if seenLine[info.loc.Line] {
+			if b.lineSeen(start, info.loc.Line) {
 				continue // one copy of the line suffices
 			}
-			seenLine[info.loc.Line] = true
-			vidx := len(b.vertices)
-			b.vertices = append(b.vertices, PlanVertex{Node: mesh.InvalidNode})
-			it := &planItem{
-				candidates: info.candidates(),
-				vidx:       vidx,
-				reusable:   make(map[mesh.NodeID]bool, len(info.reuseNodes)),
-			}
-			for _, n := range info.reuseNodes {
-				it.reusable[n] = true
-			}
-			b.setLine(vidx, info)
-			items = append(items, it)
+			it := b.newItem()
+			it.info = info
+			it.vidx = b.newVertex(mesh.InvalidNode, false)
+			b.setLine(it.vidx, info)
+			b.stack = append(b.stack, it)
 		} else {
-			items = append(items, b.processGroup(el, ops))
+			b.stack = append(b.stack, b.processGroup(el, ops))
 		}
 	}
-	return items
+}
+
+// lineSeen reports whether an unpinned leaf for the line is already among
+// the current level's items (the stack window starting at start).
+func (b *planBuilder) lineSeen(start int, line uint64) bool {
+	for _, it := range b.stack[start:] {
+		if !it.pinned && it.info.loc.Line == line {
+			return true
+		}
+	}
+	return false
 }
 
 // processGroup collapses one nested set into a single pinned component by
 // building its internal MST.
 func (b *planBuilder) processGroup(group *ir.SetNode, ops func(*ir.Ref) operandInfo) *planItem {
-	items := b.collectItems(group, ops)
-	if len(items) == 0 {
+	start := len(b.stack)
+	b.collectItems(group, ops)
+	if len(b.stack) == start {
 		// A group of literals only; represent as an empty pinned component
 		// anchored nowhere — mstOver skips empty components.
-		return &planItem{pinned: true}
+		it := b.newItem()
+		it.pinned = true
+		return it
 	}
-	return b.mstOver(items)
+	return b.mstOver(start)
 }
 
 // setLine records the operand's line on its vertex; reuse/miss accounting is
@@ -175,29 +254,32 @@ func (b *planBuilder) pin(it *planItem, n mesh.NodeID) {
 		return
 	}
 	b.vertices[it.vidx].Node = n
-	if it.reusable[n] {
+	if it.reusableAt(n) {
 		v := &b.vertices[it.vidx]
 		v.ReusedLines = append(v.ReusedLines, v.Lines...)
 		// A reused copy sits in an L1; it is no longer an MC fetch.
-		v.MissLines = nil
+		v.MissLines = v.MissLines[:0]
 		b.reuse += len(v.Lines)
 	}
 	it.pinned = true
-	it.members = []int{it.vidx}
-	it.candidates = nil
-	it.reusable = nil
+	it.members = append(it.members[:0], it.vidx)
 }
 
-// itemNodes returns the nodes an item currently offers for connection.
-func (b *planBuilder) itemNodes(it *planItem) []mesh.NodeID {
+// itemLen/itemNode enumerate the nodes an item currently offers for
+// connection without materializing a slice: candidates for unpinned leaves,
+// member vertex locations for pinned components.
+func (b *planBuilder) itemLen(it *planItem) int {
 	if !it.pinned {
-		return it.candidates
+		return it.candCount()
 	}
-	nodes := make([]mesh.NodeID, len(it.members))
-	for i, vi := range it.members {
-		nodes[i] = b.vertices[vi].Node
+	return len(it.members)
+}
+
+func (b *planBuilder) itemNode(it *planItem, i int) mesh.NodeID {
+	if !it.pinned {
+		return it.cand(i)
 	}
-	return nodes
+	return b.vertices[it.members[i]].Node
 }
 
 // vertexAt returns the index of the member vertex of a pinned item located
@@ -211,11 +293,13 @@ func (b *planBuilder) vertexAt(it *planItem, n mesh.NodeID) int {
 	return it.members[0]
 }
 
-// mstOver runs the MST construction over the items of one level: repeatedly
-// connect the two components with the minimum realizable distance (Kruskal
-// on the component graph, with candidate-set vertices pinned as edges commit
-// to them). Returns the merged component.
-func (b *planBuilder) mstOver(items []*planItem) *planItem {
+// mstOver runs the MST construction over the items of one level — the stack
+// window starting at start: repeatedly connect the two components with the
+// minimum realizable distance (Kruskal on the component graph, with
+// candidate-set vertices pinned as edges commit to them). The level is
+// popped and the merged component returned.
+func (b *planBuilder) mstOver(start int) *planItem {
+	items := b.stack[start:]
 	// Drop empty components (literal-only groups).
 	live := items[:0]
 	for _, it := range items {
@@ -224,18 +308,25 @@ func (b *planBuilder) mstOver(items []*planItem) *planItem {
 		}
 	}
 	items = live
+	pop := func() { b.stack = b.stack[:start] }
 	if len(items) == 0 {
-		return &planItem{pinned: true}
+		pop()
+		it := b.newItem()
+		it.pinned = true
+		return it
 	}
 	if len(items) == 1 {
 		b.pinDefault(items[0])
-		return items[0]
+		it := items[0]
+		pop()
+		return it
 	}
 
-	comp := make([]int, len(items)) // item index -> component id
-	for i := range comp {
-		comp[i] = i
+	b.comp = b.comp[:0] // item index -> component id
+	for i := range items {
+		b.comp = append(b.comp, i)
 	}
+	comp := b.comp
 	remaining := len(items)
 	for remaining > 1 {
 		bi, bj := -1, -1
@@ -268,12 +359,14 @@ func (b *planBuilder) mstOver(items []*planItem) *planItem {
 		remaining--
 	}
 	// Collapse all items into one pinned component.
-	merged := &planItem{pinned: true}
+	merged := b.newItem()
+	merged.pinned = true
 	for _, it := range items {
 		b.pinDefault(it)
 		merged.members = append(merged.members, it.members...)
 	}
 	sort.Ints(merged.members)
+	pop()
 	return merged
 }
 
@@ -281,7 +374,7 @@ func (b *planBuilder) mstOver(items []*planItem) *planItem {
 // ever constrained it — e.g. a single-operand statement).
 func (b *planBuilder) pinDefault(it *planItem) {
 	if !it.pinned {
-		b.pin(it, it.candidates[len(it.candidates)-1]) // primary location is last
+		b.pin(it, it.info.loc.Node()) // primary location is the last candidate
 	}
 }
 
@@ -290,8 +383,11 @@ func (b *planBuilder) pinDefault(it *planItem) {
 func (b *planBuilder) closestPair(a, c *planItem) (mesh.NodeID, mesh.NodeID, int) {
 	var bn1, bn2 mesh.NodeID
 	best := 1 << 30
-	for _, n1 := range b.itemNodes(a) {
-		for _, n2 := range b.itemNodes(c) {
+	an, cn := b.itemLen(a), b.itemLen(c)
+	for i := 0; i < an; i++ {
+		n1 := b.itemNode(a, i)
+		for j := 0; j < cn; j++ {
+			n2 := b.itemNode(c, j)
 			d := b.dt.Between(n1, n2)
 			if d < best || (d == best && (n1 < bn1 || (n1 == bn1 && n2 < bn2))) {
 				best, bn1, bn2 = d, n1, n2

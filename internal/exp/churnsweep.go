@@ -228,7 +228,7 @@ func ChurnSweep(cfg ChurnSweepConfig) (*ChurnSweepResult, error) {
 		checkerFor := func(f *mesh.FaultSet, completed func(iter, stmt int) bool) core.RepairChecker {
 			return func(sched *core.Schedule) error {
 				rep, err := verify.Check(verify.Input{
-					Prog: s.app.Prog, Nest: s.nest, Store: s.app.Store,
+					Prog: s.app.Prog, Nest: part.ScheduleNest(), Store: s.app.Store,
 					Schedule: sched, Mesh: m, Faults: f,
 					Layout: opts.Layout, Translations: part.Translations,
 					Labels: part.LineLabels, Completed: completed,

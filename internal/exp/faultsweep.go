@@ -204,7 +204,7 @@ func FaultSweep(cfg FaultSweepConfig) (*FaultSweepResult, error) {
 
 			checker := func(sched *core.Schedule) error {
 				rep, err := verify.Check(verify.Input{
-					Prog: s.app.Prog, Nest: s.nest, Store: s.app.Store,
+					Prog: s.app.Prog, Nest: part.ScheduleNest(), Store: s.app.Store,
 					Schedule: sched, Mesh: opts.Mesh, Faults: fs,
 					Layout: opts.Layout, Translations: part.Translations,
 					Labels: part.LineLabels,

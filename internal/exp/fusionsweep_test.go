@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmacp/internal/workloads"
+)
+
+// TestFusionSweepGate is the fusion acceptance harness: across all 12
+// workloads the fused run must verify race-free against its coarsened nest,
+// execute to byte-identical array contents, and never move more bytes×hops
+// than the unfused run — with a strict movement win on at least 4 workloads
+// (FFT's two butterfly temporaries plus the Radix digit, Raytrace
+// intersection and MiniMD half-step velocity temporaries).
+func TestFusionSweepGate(t *testing.T) {
+	res, err := FusionSweep(FusionSweepConfig{Scale: workloads.TestScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Merges == 0 {
+		t.Fatal("fusion sweep merged no statements on the whole suite")
+	}
+	for _, row := range res.PerApp {
+		if row.FusedBytesHops > row.UnfusedBytesHops {
+			t.Errorf("%s: fused moves %d bytes×hops, unfused %d",
+				row.App, row.FusedBytesHops, row.UnfusedBytesHops)
+		}
+		if row.Merged > 0 && !row.Strict {
+			t.Errorf("%s: merged %d statements but shows no strict movement win (fused %d, unfused %d)",
+				row.App, row.Merged, row.FusedBytesHops, row.UnfusedBytesHops)
+		}
+	}
+	if res.StrictWins < 4 {
+		t.Errorf("fusion strictly reduced movement on %d workloads, want >= 4", res.StrictWins)
+	}
+}
+
+// TestFusionSweepJobsDeterminism requires the aggregate result to be
+// byte-identical at any worker count: series are enumerated up front and
+// merged in series order.
+func TestFusionSweepJobsDeterminism(t *testing.T) {
+	cfg := FusionSweepConfig{Scale: workloads.TestScale()}
+	cfg.Jobs = 1
+	serial, err := FusionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = 8
+	wide, err := FusionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("fusion sweep differs across -j:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}
+
+// TestRunnerFusionSweepExperiment exercises the CLI experiment wrapper and
+// requires a zero-violation headline with at least 4 strict wins.
+func TestRunnerFusionSweepExperiment(t *testing.T) {
+	r := NewRunner(workloads.TestScale())
+	e, err := r.FusionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fusionsweep" {
+		t.Fatalf("experiment ID = %q", e.ID)
+	}
+	if v := e.Headline["violations"]; v != 0 {
+		t.Errorf("fusionsweep headline violations = %v, want 0\n%s", v, e.Table)
+	}
+	if w := e.Headline["strictWins"]; w < 4 {
+		t.Errorf("fusionsweep headline strictWins = %v, want >= 4\n%s", w, e.Table)
+	}
+	if !strings.Contains(e.Title, "Fusion pre-pass") {
+		t.Errorf("unexpected title %q", e.Title)
+	}
+}

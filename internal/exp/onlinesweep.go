@@ -218,7 +218,7 @@ func OnlineSweep(cfg OnlineSweepConfig) (*OnlineSweepResult, error) {
 			completed := ck.CompletedInstances(part.Schedule)
 			checker := func(sched *core.Schedule) error {
 				rep, err := verify.Check(verify.Input{
-					Prog: s.app.Prog, Nest: s.nest, Store: s.app.Store,
+					Prog: s.app.Prog, Nest: part.ScheduleNest(), Store: s.app.Store,
 					Schedule: sched, Mesh: opts.Mesh, Faults: fs,
 					Layout: opts.Layout, Translations: part.Translations,
 					Labels: part.LineLabels, Completed: completed,
@@ -251,7 +251,7 @@ func OnlineSweep(cfg OnlineSweepConfig) (*OnlineSweepResult, error) {
 
 			fullChecker := func(sched *core.Schedule) error {
 				rep, err := verify.Check(verify.Input{
-					Prog: s.app.Prog, Nest: s.nest, Store: s.app.Store,
+					Prog: s.app.Prog, Nest: part.ScheduleNest(), Store: s.app.Store,
 					Schedule: sched, Mesh: opts.Mesh, Faults: fs,
 					Layout: opts.Layout, Translations: part.Translations,
 					Labels: part.LineLabels,

@@ -60,6 +60,10 @@ func FuzzPartition(f *testing.F) {
 		opts := core.DefaultOptions()
 		opts.Mode = []mesh.ClusterMode{mesh.AllToAll, mesh.Quadrant, mesh.SNC4}[int(modeSel)%3]
 		opts.FixedWindow = []int{0, 1, 2, 4, 8}[int(windowSel)%5]
+		// Reuse a high bit of the window selector to toggle the fusion
+		// pre-pass, so the same corpus exercises fusion.Coarsen with the
+		// race detector as oracle without changing the fuzz signature.
+		opts.Fuse = windowSel&0x08 == 0
 
 		res, err := core.Partition(prog, nest, store, opts)
 		if err != nil {
@@ -67,7 +71,7 @@ func FuzzPartition(f *testing.F) {
 			t.Skip()
 		}
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: res.ScheduleNest(), Store: store,
 			Schedule: res.Schedule, Mesh: opts.Mesh, Layout: opts.Layout,
 			Translations: res.Translations, Labels: res.LineLabels,
 		}, verify.Options{})

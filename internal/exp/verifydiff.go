@@ -235,9 +235,12 @@ func verifyOneProgram(cfg VerifyDiffConfig, p int, src string) (out vdPartial) {
 	store := ir.NewStore(prog)
 	store.FillRandom(prog, cfg.Seed+int64(p)+1)
 
-	record := func(variant string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string, opts core.Options) error {
+	// checkNest is the nest the schedule's Stmt indices refer to: the
+	// partitioner may emit over a fused body, baselines always use the
+	// original nest.
+	record := func(variant string, sched *core.Schedule, checkNest *ir.Nest, translations map[uint64]uint64, labels map[uint64]string, opts core.Options) error {
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: checkNest, Store: store,
 			Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
 			Translations: translations, Labels: labels,
 		}, verify.Options{})
@@ -270,7 +273,7 @@ func verifyOneProgram(cfg VerifyDiffConfig, p int, src string) (out vdPartial) {
 				return out
 			}
 			if err := record(fmt.Sprintf("partitioner mode=%v window=%d", mode, w),
-				r.Schedule, r.Translations, r.LineLabels, opts); err != nil {
+				r.Schedule, r.ScheduleNest(), r.Translations, r.LineLabels, opts); err != nil {
 				out.err = err
 				return out
 			}
@@ -284,7 +287,7 @@ func verifyOneProgram(cfg VerifyDiffConfig, p int, src string) (out vdPartial) {
 				return out
 			}
 			if err := record(fmt.Sprintf("baseline %v mode=%v", strat, mode),
-				b.Schedule, b.Translations, nil, opts); err != nil {
+				b.Schedule, nest, b.Translations, nil, opts); err != nil {
 				out.err = err
 				return out
 			}

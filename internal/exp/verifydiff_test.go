@@ -49,8 +49,10 @@ func TestWorkloadSchedulesVerifyClean(t *testing.T) {
 		app := ar.App
 		for ni, nr := range ar.Nests {
 			prog := app.Prog
+			// The optimized schedule is emitted over the (possibly fused)
+			// nest; the default placement always uses the original.
 			in := verify.Input{
-				Prog: prog, Nest: nr.Nest, Store: app.Store,
+				Prog: prog, Nest: nr.Opt.ScheduleNest(), Store: app.Store,
 				Schedule: nr.Opt.Schedule, Mesh: r.Opts.Mesh, Layout: r.Opts.Layout,
 				Translations: nr.Opt.Translations, Labels: nr.Opt.LineLabels,
 			}
@@ -62,6 +64,7 @@ func TestWorkloadSchedulesVerifyClean(t *testing.T) {
 				t.Errorf("%s nest %d optimized schedule not clean:\n%s\n%v",
 					name, ni, rep.Summary(), rep.Lines())
 			}
+			in.Nest = nr.Nest
 			in.Schedule = nr.Def.Schedule
 			in.Translations = nr.Def.Translations
 			in.Labels = nil

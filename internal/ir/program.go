@@ -92,14 +92,20 @@ func (n *Nest) ForEachIteration(fn func(env map[string]int) bool) {
 // IterationEnv returns the environment of the k-th iteration (0-based, in
 // execution order).
 func (n *Nest) IterationEnv(k int) map[string]int {
-	env := make(map[string]int, len(n.Loops))
-	// Decompose k in mixed radix, innermost loop varying fastest.
-	radix := make([]int, len(n.Loops))
-	for i, l := range n.Loops {
-		radix[i] = l.Trips()
+	return n.IterationEnvInto(nil, k)
+}
+
+// IterationEnvInto fills env with the k-th iteration's variable bindings and
+// returns it, allocating only when env is nil. Every loop variable is
+// overwritten, so the same map can be reused across iterations (the
+// partitioner's instance loop does).
+func (n *Nest) IterationEnvInto(env map[string]int, k int) map[string]int {
+	if env == nil {
+		env = make(map[string]int, len(n.Loops))
 	}
+	// Decompose k in mixed radix, innermost loop varying fastest.
 	for i := len(n.Loops) - 1; i >= 0; i-- {
-		t := radix[i]
+		t := n.Loops[i].Trips()
 		if t == 0 {
 			env[n.Loops[i].Var] = n.Loops[i].Lower
 			continue

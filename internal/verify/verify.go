@@ -543,8 +543,11 @@ func checkBounds(in Input, o Options, rep *Report) {
 //	opts.Verify = verify.PartitionHook(verify.Options{})
 func PartitionHook(o Options) core.VerifyFunc {
 	return func(prog *ir.Program, nest *ir.Nest, store *ir.Store, opts *core.Options, res *core.Result) error {
+		// Task.Stmt indices refer to the fused body when the coarsening
+		// pre-pass ran, so the schedule is checked against ScheduleNest —
+		// the nest it was actually emitted over.
 		rep, err := Check(Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: res.ScheduleNest(), Store: store,
 			Schedule: res.Schedule, Mesh: opts.Mesh, Layout: opts.Layout,
 			Translations: res.Translations, Labels: res.LineLabels,
 		}, o)

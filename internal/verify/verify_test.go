@@ -35,7 +35,7 @@ func partitionInput(t *testing.T, src string, iters, elems int) (verify.Input, c
 		t.Fatalf("partition: %v", err)
 	}
 	return verify.Input{
-		Prog: prog, Nest: nest, Store: store,
+		Prog: prog, Nest: res.ScheduleNest(), Store: store,
 		Schedule: res.Schedule, Mesh: opts.Mesh, Layout: opts.Layout,
 		Translations: res.Translations, Labels: res.LineLabels,
 	}, opts
@@ -85,7 +85,9 @@ func TestBaselineSchedulesVerifyClean(t *testing.T) {
 // schedule by dropping a required flow-dependence arc must yield a
 // RaceDiagnostic naming the exact instance pair the arc ordered.
 func TestSeededViolationNamesInstancePair(t *testing.T) {
-	in, _ := partitionInput(t, "A(i) = B(i)\nC(i) = A(i)+B(i)", 64, 1<<10)
+	// A feeds two consumers so the fusion pre-pass leaves the body alone and
+	// the cross-statement flow arc survives to be dropped.
+	in, _ := partitionInput(t, "A(i) = B(i)\nC(i) = A(i)+B(i)\nD(i) = A(i)", 64, 1<<10)
 	tasks := in.Schedule.Tasks
 
 	// Find a cross-node arc from a root (a writer) to a task fetching the

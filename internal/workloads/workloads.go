@@ -108,12 +108,19 @@ A(17*i+8) = A(17*i+8) - L(9*i+1)*L(9*i+8)/D(8*i+8)`},
 	{
 		// FFT: butterfly stages with twiddle factors; large power-of-two
 		// strides, a bit-reversal permutation supplies the indirect tail
-		// (92.3% analyzable), mul-heavy (46.5%).
+		// (92.3% analyzable), mul-heavy (46.5%). The butterfly is written
+		// the way real FFT sources are — twiddle products land in the
+		// temporaries TR/TI before updating X — which makes it the suite's
+		// canonical producer→consumer fusion target: the coarsening
+		// pre-pass folds both temporaries back into the accumulating
+		// statements.
 		name: "FFT", seed: 37, index: []string{"BR"},
 		kernels: []kernelSpec{
 			{"butterfly", 1, `
-XR(16*i) = XR(16*i) + WR(8*i)*YR(16*i+8) - WI(8*i)*YI(16*i+8)
-XI(16*i) = XI(16*i) + WR(8*i)*YI(16*i+8) + WI(8*i)*YR(16*i+8)`},
+TR(8*i) = WR(8*i)*YR(16*i+8) - WI(8*i)*YI(16*i+8)
+XR(16*i) = XR(16*i) + TR(8*i)
+TI(8*i) = WR(8*i)*YI(16*i+8) + WI(8*i)*YR(16*i+8)
+XI(16*i) = XI(16*i) + TI(8*i)`},
 			{"bitrev", 1, `
 ZR(8*i) = XR(BR(8*i))
 ZI(8*i) = XI(BR(8*i))`},
@@ -147,11 +154,15 @@ B(8*i) = A(PV(8*i))`},
 	{
 		// Ocean: 5-point stencil relaxation; the longest statements in the
 		// suite (high parallelism in Figure 14), add-heavy (52.2%), with
-		// boundary indirection (77.3% analyzable).
+		// boundary indirection (77.3% analyzable). Like the real SPLASH-2
+		// sources, the stencil neighbourhood sum lands in a work array
+		// (Ocean's WORK1..WORK7) before the relaxation update — a single-use
+		// temporary the fusion pre-pass folds back into the update.
 		name: "Ocean", seed: 67, index: []string{"BN"},
 		kernels: []kernelSpec{
 			{"relax", 1, `
-PSIN(8*i) = W0*PSI(8*i) + W1*(PSI(8*i+8)+PSI(8*i-8)+PSI(8*i+1024)+PSI(8*i-1024)) + F(8*i)
+WRK(8*i) = W1*(PSI(8*i+8)+PSI(8*i-8)+PSI(8*i+1024)+PSI(8*i-1024))
+PSIN(8*i) = W0*PSI(8*i) + WRK(8*i) + F(8*i)
 VORN(8*i) = W0*VOR(8*i) + W1*(VOR(8*i+8)+VOR(8*i-8)+VOR(8*i+1024)+VOR(8*i-1024)) + G(8*i)`},
 			{"boundary", 1, `
 PSI(BN(8*i)) = PSI(BN(8*i)) + EDGE(8*i)*W1`},

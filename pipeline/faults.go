@@ -13,6 +13,7 @@ import (
 
 	"dmacp/internal/baseline"
 	"dmacp/internal/core"
+	"dmacp/internal/ir"
 	"dmacp/internal/mesh"
 	"dmacp/internal/sim"
 	"dmacp/internal/verify"
@@ -173,7 +174,7 @@ func RunFaults(k Kernel, cfg Config, spec FaultSpec) (*FaultReport, error) {
 	var verifySummary string
 	checker := func(s *core.Schedule) error {
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: opt.ScheduleNest(), Store: store,
 			Schedule: s, Mesh: opts.Mesh, Faults: f,
 			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
 		}, verify.Options{})
@@ -327,7 +328,7 @@ func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) 
 	completed := ck.CompletedInstances(opt.Schedule)
 	checker := func(s *core.Schedule) error {
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: opt.ScheduleNest(), Store: store,
 			Schedule: s, Mesh: opts.Mesh, Faults: f,
 			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
 			Completed: completed,
@@ -350,7 +351,7 @@ func RunFaultsOnline(k Kernel, cfg Config, spec FaultSpec, arrivalFrac float64) 
 	// Scratch baseline: throw the checkpoint away and re-place everything.
 	fullChecker := func(s *core.Schedule) error {
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: opt.ScheduleNest(), Store: store,
 			Schedule: s, Mesh: opts.Mesh, Faults: f,
 			Layout: opts.Layout, Translations: opt.Translations, Labels: opt.LineLabels,
 		}, verify.Options{})
@@ -433,9 +434,11 @@ func CheckAppSchedules(app string, iters, elems int, cfg Config) ([]ScheduleChec
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %s default: %w", nest.Name, err)
 		}
-		check := func(name string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string) error {
+		// The optimized schedule may have been emitted over a fused body;
+		// each schedule verifies against its own nest.
+		check := func(name string, sched *core.Schedule, checkNest *ir.Nest, translations map[uint64]uint64, labels map[uint64]string) error {
 			rep, err := verify.Check(verify.Input{
-				Prog: a.Prog, Nest: nest, Store: a.Store,
+				Prog: a.Prog, Nest: checkNest, Store: a.Store,
 				Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
 				Translations: translations, Labels: labels,
 			}, verify.Options{})
@@ -453,10 +456,10 @@ func CheckAppSchedules(app string, iters, elems int, cfg Config) ([]ScheduleChec
 			})
 			return nil
 		}
-		if err := check(nest.Name+" (optimized)", opt.Schedule, opt.Translations, opt.LineLabels); err != nil {
+		if err := check(nest.Name+" (optimized)", opt.Schedule, opt.ScheduleNest(), opt.Translations, opt.LineLabels); err != nil {
 			return nil, err
 		}
-		if err := check(nest.Name+" (default)", def.Schedule, def.Translations, nil); err != nil {
+		if err := check(nest.Name+" (default)", def.Schedule, nest, def.Translations, nil); err != nil {
 			return nil, err
 		}
 	}

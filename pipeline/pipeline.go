@@ -63,6 +63,11 @@ type Config struct {
 	MaxWindow int
 	// FixedWindow, when positive, pins the window size instead.
 	FixedWindow int
+	// NoFuse disables the producer→consumer coarsening pre-pass
+	// (internal/fusion) that merges single-consumer temporaries into their
+	// consumer before the window sweep. Fusion is on by default; this is
+	// the -nofuse escape hatch of the CLIs.
+	NoFuse bool
 	// UsePredictor enables the sampled L2 hit/miss predictor; when false the
 	// compiler assumes on-chip data (default true).
 	UsePredictor bool
@@ -220,6 +225,7 @@ func build(k Kernel, cfg Config) (*ir.Program, *ir.Nest, *ir.Store, core.Options
 		opts.MaxWindow = cfg.MaxWindow
 	}
 	opts.FixedWindow = cfg.FixedWindow
+	opts.Fuse = !cfg.NoFuse
 	opts.IdealAnalysis = cfg.IdealAnalysis
 	opts.Jobs = cfg.Jobs
 	if cfg.UsePredictor && !cfg.IdealAnalysis {
@@ -353,7 +359,9 @@ func EmitCode(k Kernel, cfg Config, maxTasksPerNode int) (string, error) {
 	}
 	var buf strings.Builder
 	buf.WriteString("// " + codegen.Summary(opt.Schedule, opts.Mesh) + "\n")
-	err = codegen.Generate(&buf, opt.Schedule, opts.Mesh, opt.LineLabels, nest.Body,
+	// Render against the body the schedule was emitted over (the fused one
+	// when the coarsening pre-pass merged statements).
+	err = codegen.Generate(&buf, opt.Schedule, opts.Mesh, opt.LineLabels, opt.ScheduleNest().Body,
 		codegen.Options{MaxTasksPerNode: maxTasksPerNode})
 	if err != nil {
 		return "", err
@@ -403,9 +411,11 @@ func CheckSchedules(k Kernel, cfg Config) ([]ScheduleCheck, error) {
 		return nil, err
 	}
 	var out []ScheduleCheck
-	check := func(name string, sched *core.Schedule, translations map[uint64]uint64, labels map[uint64]string) error {
+	// Each schedule is checked against the nest it was emitted over: the
+	// partitioner's may be fused, the baseline always uses the original.
+	check := func(name string, sched *core.Schedule, checkNest *ir.Nest, translations map[uint64]uint64, labels map[uint64]string) error {
 		rep, err := verify.Check(verify.Input{
-			Prog: prog, Nest: nest, Store: store,
+			Prog: prog, Nest: checkNest, Store: store,
 			Schedule: sched, Mesh: opts.Mesh, Layout: opts.Layout,
 			Translations: translations, Labels: labels,
 		}, verify.Options{})
@@ -423,10 +433,10 @@ func CheckSchedules(k Kernel, cfg Config) ([]ScheduleCheck, error) {
 		})
 		return nil
 	}
-	if err := check("optimized", opt.Schedule, opt.Translations, opt.LineLabels); err != nil {
+	if err := check("optimized", opt.Schedule, opt.ScheduleNest(), opt.Translations, opt.LineLabels); err != nil {
 		return nil, err
 	}
-	if err := check("default", def.Schedule, def.Translations, nil); err != nil {
+	if err := check("default", def.Schedule, nest, def.Translations, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
